@@ -1,0 +1,36 @@
+"""Fig. 5b benchmark: Geomancy dynamic vs the static baselines.
+
+Shape target (paper Fig. 5b / section VII): Geomancy dynamic beats random
+static (+24% in the paper) and the one-shot Geomancy-static layout (+30%):
+"an ideal placement of data at a certain period of time will not be ideal
+later during a workload's execution".
+"""
+
+from repro.experiments.fig5_comparison import run_fig5b
+from repro.experiments.spec import BENCH_SCALE
+
+
+def test_fig5b_static_policies(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_fig5b,
+        kwargs={"scale": BENCH_SCALE, "seed": 2},
+        rounds=1,
+        iterations=1,
+    )
+    gains = "\n".join(
+        f"Geomancy gain over {name}: {result.gain_percent(name):+.1f}%"
+        for name in sorted(result.results)
+        if name != "Geomancy dynamic"
+    )
+    save_result(
+        "fig5b_static",
+        result.to_text(title="Fig. 5b -- static policies") + "\n" + gains,
+    )
+
+    geomancy = result.mean("Geomancy dynamic")
+    # Beats every static baseline.
+    for name in ("random static", "even spread", "Geomancy static"):
+        assert geomancy > result.mean(name), f"Geomancy lost to {name}"
+    # The headline gains are in the paper's double-digit regime.
+    assert result.gain_percent("random static") >= 10.0
+    assert result.gain_percent("Geomancy static") >= 10.0

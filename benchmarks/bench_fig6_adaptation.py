@@ -1,0 +1,34 @@
+"""Fig. 6 benchmark: adaptation to a competing workload.
+
+Shape target (paper Fig. 6): tuned throughput dips when the duplicate
+untuned workload starts, and Geomancy then "is able to respond to the
+changes and attempt to push performance back to what it once was".
+"""
+
+from repro.experiments.fig6_adaptation import run_fig6
+from repro.experiments.spec import BENCH_SCALE
+
+
+def test_fig6_adaptation(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_fig6,
+        kwargs={
+            "scale": BENCH_SCALE,
+            "seed": 0,
+            "runs_before": 40,
+            "runs_after": 80,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig6_adaptation", result.to_text())
+
+    # The competitor's arrival costs throughput immediately...
+    assert result.dip_ratio() < 0.97
+    # ...and the late post-disturbance level recovers from the dip.
+    assert result.recovery_ratio() > result.dip_ratio() - 0.05
+    # The untuned duplicate underperforms the tuned workload overall.
+    import numpy as np
+    tuned_after = result.tuned_after().mean()
+    competing = np.mean(result.competing_gbps)
+    assert competing < tuned_after * 1.25

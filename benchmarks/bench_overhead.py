@@ -1,0 +1,34 @@
+"""Section VIII overhead study: training/prediction/transfer costs.
+
+Shape targets: the 13-feature EOS configuration is not dramatically more
+expensive than the 6-feature live one (the paper measured 23.1 s vs 25.3 s
+training, i.e. comparable), prediction is orders of magnitude cheaper than
+training, and the telemetry transfer matches the modeled ~3 ms per batch.
+"""
+
+from repro.experiments.overhead import run_overhead_study
+from repro.experiments.spec import BENCH_SCALE
+
+
+def test_overhead_study(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_overhead_study,
+        kwargs={
+            "rows": BENCH_SCALE.training_rows,
+            "epochs": BENCH_SCALE.epochs,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_result("overhead_study", result.to_text())
+
+    live, eos = result.rows
+    assert live.z == 6 and eos.z == 13
+    # Comparable training cost across feature widths (within ~3x).
+    assert eos.train_seconds < 3.0 * live.train_seconds
+    # Prediction is far cheaper than training.
+    for row in result.rows:
+        assert row.predict_ms / 1000.0 < row.train_seconds / 100.0
+    # The transfer cost matches the paper's measured ~3 ms.
+    assert 2.0 <= result.transfer_ms_per_batch <= 4.0

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures at
+``BENCH_SCALE`` and writes the rendered result to ``benchmarks/out/`` so
+the reproduced numbers are inspectable after a ``--benchmark-only`` run
+(pytest captures stdout).  Shape assertions -- who wins, what diverges,
+which correlations carry which sign -- run inside the benchmarks.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Write a rendered table/figure to benchmarks/out/<name>.txt."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _save

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Latency-sensitive tuning (the section V-C future-work extension).
+
+"Since there exist workloads that are more latency sensitive, we will
+explore modeling latency of the system in the future."  This example runs
+the same Geomancy loop with ``target="latency"``: the engine models the
+per-access duration and places files by *argmin* instead of argmax,
+then compares mean access latency against an even spread.
+
+Run:  python examples/latency_tuning.py            (~45 s)
+"""
+
+import numpy as np
+
+from repro import (
+    Belle2Workload,
+    Geomancy,
+    GeomancyConfig,
+    WorkloadRunner,
+    belle2_file_population,
+    make_bluesky_cluster,
+)
+from repro.policies import EvenSpreadPolicy, RandomDynamicPolicy
+
+RUNS = 50
+
+
+def run_session(tuned: bool, seed: int = 2) -> list[float]:
+    """Per-access durations (seconds) for a tuned or untuned session."""
+    cluster = make_bluesky_cluster(seed=seed)
+    files = belle2_file_population(seed=seed)
+    config = GeomancyConfig(
+        target="latency", epochs=60, training_rows=3000, seed=seed,
+    )
+    geo = Geomancy(cluster, files, config)
+    geo.place_initial()
+    runner = WorkloadRunner(cluster, Belle2Workload(files, seed=1), geo.db)
+
+    # Shuffled warm-up (see README reproduction notes).
+    shuffler = RandomDynamicPolicy(seed=seed)
+    warm = 0
+    while geo.db.access_count() < 2000:
+        runner.run_once()
+        warm += 1
+        if warm % 5 == 0:
+            cluster.apply_layout(
+                shuffler.update_layout(geo.db, files, cluster.device_names),
+                runner.clock.now,
+            )
+    if not tuned:
+        cluster.apply_layout(
+            EvenSpreadPolicy().initial_layout(files, cluster.device_names),
+            runner.clock.now,
+        )
+
+    durations: list[float] = []
+    for run in range(1, RUNS + 1):
+        result = runner.run_once()
+        durations.extend(r.duration for r in result.records)
+        if tuned:
+            geo.after_run(run, runner.clock.now)
+    return durations
+
+
+def main() -> None:
+    untuned = run_session(tuned=False)
+    tuned = run_session(tuned=True)
+    print(f"even spread   : mean access latency {np.mean(untuned)*1000:7.1f} ms "
+          f"(p95 {np.percentile(untuned, 95)*1000:7.1f} ms)")
+    print(f"Geomancy (lat): mean access latency {np.mean(tuned)*1000:7.1f} ms "
+          f"(p95 {np.percentile(tuned, 95)*1000:7.1f} ms)")
+    change = (np.mean(tuned) - np.mean(untuned)) / np.mean(untuned) * 100
+    print(f"mean latency change: {change:+.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Control agents (paper section V-A).
+
+"When a new data layout is determined, Geomancy sends the updated data
+layout to Control Agents ... they do not interfere with the system's
+activities except for instructing the target system to move data in the
+background."
+"""
+
+from __future__ import annotations
+
+from repro.agents.messages import LayoutCommand
+from repro.errors import AgentError
+from repro.replaydb.records import MovementRecord
+from repro.simulation.cluster import StorageCluster
+
+
+class ControlAgent:
+    """Executes layout commands against the target cluster."""
+
+    def __init__(self, cluster: StorageCluster) -> None:
+        self.cluster = cluster
+        self.commands_executed = 0
+        self.files_moved = 0
+
+    def execute(self, command: LayoutCommand) -> list[MovementRecord]:
+        """Apply a layout command; returns the movements performed.
+
+        Unknown device targets are rejected wholesale -- the Action Checker
+        upstream is responsible for validity, so reaching here with an
+        invalid target is a programming error worth surfacing loudly.
+        """
+        valid = set(self.cluster.device_names)
+        invalid = {
+            device for device in command.layout.values() if device not in valid
+        }
+        if invalid:
+            raise AgentError(
+                f"layout command names unknown devices {sorted(invalid)}"
+            )
+        # Non-strict application: a device can fill up or stop accepting
+        # placements between the Action Checker's validation and this
+        # execution; such moves are skipped, not fatal.
+        moves = self.cluster.apply_layout(
+            command.layout, command.issued_at, strict=False
+        )
+        self.commands_executed += 1
+        self.files_moved += len(moves)
+        return moves

@@ -1,0 +1,62 @@
+"""The Interface Daemon (paper section V-A).
+
+"the Interface Daemon stores the raw performance data into the ReplayDB, a
+SQLite database located outside the target system.  The Interface Daemon is
+a networking middleware that allows parallel requests to be sent between
+the target system, Geomancy, and internally within Geomancy."
+"""
+
+from __future__ import annotations
+
+from repro.agents.messages import LayoutCommand, TelemetryBatch
+from repro.agents.transport import InMemoryTransport
+from repro.errors import AgentError
+from repro.replaydb.db import ReplayDB
+from repro.replaydb.records import MovementRecord
+
+
+class InterfaceDaemon:
+    """Routes telemetry into the ReplayDB and commands toward the system."""
+
+    def __init__(
+        self,
+        db: ReplayDB,
+        telemetry: InMemoryTransport,
+        commands: InMemoryTransport,
+    ) -> None:
+        self.db = db
+        self.telemetry = telemetry
+        self.commands = commands
+        self.batches_ingested = 0
+        self.records_ingested = 0
+
+    def pump_telemetry(self) -> int:
+        """Drain pending telemetry batches into the ReplayDB.
+
+        Returns the number of records stored.
+        """
+        stored = 0
+        for message in self.telemetry.receive_all():
+            if not isinstance(message, TelemetryBatch):
+                raise AgentError(
+                    f"telemetry channel carried {type(message).__name__}"
+                )
+            self.db.insert_accesses(message.records)
+            self.batches_ingested += 1
+            stored += len(message.records)
+        self.records_ingested += stored
+        return stored
+
+    def send_layout(self, layout: dict[int, str], at: float) -> None:
+        """Forward a layout decision to the control agents."""
+        self.commands.send(LayoutCommand(layout=dict(layout), issued_at=at))
+
+    def record_movements(self, moves: list[MovementRecord]) -> None:
+        """Log executed movements so the layout evolution is queryable."""
+        for move in moves:
+            self.db.insert_movement(move)
+
+    @property
+    def transfer_overhead_s(self) -> float:
+        """Accumulated simulated network latency (the paper's ~3 ms/batch)."""
+        return self.telemetry.total_latency_s + self.commands.total_latency_s

@@ -1,0 +1,65 @@
+"""Per-device monitoring agents (paper section V-A).
+
+"When a file is detected to have been accessed, the monitoring agent flags
+the start of the access and the end of the access and measures the number
+of bytes read and written on the file."
+"""
+
+from __future__ import annotations
+
+from repro.agents.messages import TelemetryBatch
+from repro.agents.transport import InMemoryTransport
+from repro.errors import AgentError
+from repro.replaydb.records import AccessRecord
+
+
+class MonitoringAgent:
+    """Observes one storage device; batches telemetry toward Geomancy."""
+
+    def __init__(
+        self,
+        device: str,
+        transport: InMemoryTransport,
+        *,
+        batch_size: int = 32,
+    ) -> None:
+        if not device:
+            raise AgentError("device name must be non-empty")
+        if batch_size < 1:
+            raise AgentError(f"batch_size must be >= 1, got {batch_size}")
+        self.device = device
+        self.transport = transport
+        self.batch_size = int(batch_size)
+        self._buffer: list[AccessRecord] = []
+        self.observed = 0
+
+    def observe(self, record: AccessRecord) -> None:
+        """Record one access on this agent's device.
+
+        Auto-flushes a full batch ("Geomancy captures groups of accesses as
+        one access to lower the overhead").
+        """
+        if record.device != self.device:
+            raise AgentError(
+                f"agent for {self.device!r} observed access on "
+                f"{record.device!r}"
+            )
+        self._buffer.append(record)
+        self.observed += 1
+        if len(self._buffer) >= self.batch_size:
+            self.flush(at=record.close_time)
+
+    def flush(self, at: float) -> bool:
+        """Send any buffered records; returns whether a batch was sent."""
+        if not self._buffer:
+            return False
+        batch = TelemetryBatch(
+            device=self.device, records=tuple(self._buffer), sent_at=at
+        )
+        self._buffer.clear()
+        self.transport.send(batch)
+        return True
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)

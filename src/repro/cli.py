@@ -1,0 +1,246 @@
+"""Command-line interface: regenerate any paper table/figure.
+
+::
+
+    python -m repro fig4                 # Fig. 4 correlations
+    python -m repro table1               # Table I architectures
+    python -m repro table2 --scale test  # Table II (all 23 models)
+    python -m repro table3
+    python -m repro fig5a --scale bench --seed 2
+    python -m repro fig5b
+    python -m repro table4
+    python -m repro fig6
+    python -m repro synth-trace out.jsonl --rows 5000
+
+``--scale`` picks the experiment sizing: ``test`` (seconds), ``bench``
+(the defaults the benchmark harness uses, minutes), or ``paper`` (the
+publication's full parameters).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.spec import (
+    BENCH_SCALE,
+    PAPER_SCALE,
+    TEST_SCALE,
+    ExperimentScale,
+)
+
+_SCALES: dict[str, ExperimentScale] = {
+    "test": TEST_SCALE,
+    "bench": BENCH_SCALE,
+    "paper": PAPER_SCALE,
+}
+
+
+def _add_common(parser: argparse.ArgumentParser, *, default_seed: int) -> None:
+    parser.add_argument(
+        "--scale", choices=sorted(_SCALES), default="test",
+        help="experiment sizing (default: test)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=default_seed,
+        help=f"environment seed (default: {default_seed})",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures of the Geomancy paper "
+                    "(ISPASS 2020).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig4 = sub.add_parser("fig4", help="feature/throughput correlations")
+    _add_common(fig4, default_seed=4)
+
+    sub.add_parser("table1", help="the 23 model architectures")
+
+    table2 = sub.add_parser("table2", help="23-model comparison")
+    _add_common(table2, default_seed=0)
+
+    table3 = sub.add_parser("table3", help="model 1 per-mount accuracy")
+    _add_common(table3, default_seed=0)
+
+    fig5a = sub.add_parser("fig5a", help="dynamic-policy comparison")
+    _add_common(fig5a, default_seed=2)
+
+    fig5b = sub.add_parser("fig5b", help="static-policy comparison")
+    _add_common(fig5b, default_seed=2)
+
+    table4 = sub.add_parser("table4", help="single-mount overhead study")
+    _add_common(table4, default_seed=2)
+
+    fig6 = sub.add_parser("fig6", help="competing-workload adaptation")
+    _add_common(fig6, default_seed=0)
+
+    sub.add_parser("testbed", help="describe the simulated Bluesky testbed")
+
+    robustness = sub.add_parser(
+        "robustness", help="Fig. 5a across several environment seeds"
+    )
+    _add_common(robustness, default_seed=0)
+    robustness.add_argument(
+        "--seeds", type=int, nargs="+", default=[0, 1, 2, 3],
+        help="environment seeds to sweep",
+    )
+
+    overhead = sub.add_parser(
+        "overhead", help="section VIII training/prediction/transfer costs"
+    )
+    _add_common(overhead, default_seed=0)
+
+    selection = sub.add_parser(
+        "model-selection", help="section V-G model-selection procedure"
+    )
+    _add_common(selection, default_seed=0)
+
+    trace = sub.add_parser(
+        "synth-trace", help="write a synthetic EOS-style trace (JSONL)"
+    )
+    trace.add_argument("output", help="output path (.jsonl)")
+    trace.add_argument("--rows", type=int, default=5000)
+    trace.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _run_fig4(args) -> str:
+    from repro.experiments.fig4_correlation import run_fig4
+
+    scale = _SCALES[args.scale]
+    return run_fig4(rows=scale.trace_rows, seed=args.seed).to_text()
+
+
+def _run_table1(args) -> str:
+    from repro.experiments.table1_zoo import table1_text
+
+    return table1_text()
+
+
+def _run_table2(args) -> str:
+    from repro.experiments.table2_comparison import run_table2, table2_text
+
+    scale = _SCALES[args.scale]
+    rows = run_table2(
+        rows=scale.training_rows, epochs=scale.epochs, seed=args.seed
+    )
+    return table2_text(rows)
+
+
+def _run_table3(args) -> str:
+    from repro.experiments.table3_permount import run_table3, table3_text
+
+    scale = _SCALES[args.scale]
+    rows = run_table3(
+        rows=scale.training_rows, epochs=scale.epochs, seed=args.seed
+    )
+    return table3_text(rows)
+
+
+def _run_fig5a(args) -> str:
+    from repro.experiments.fig5_comparison import run_fig5a
+
+    result = run_fig5a(scale=_SCALES[args.scale], seed=args.seed)
+    gains = "\n".join(
+        f"Geomancy gain over {name}: {result.gain_percent(name):+.1f}%"
+        for name in sorted(result.results)
+        if name != "Geomancy dynamic"
+    )
+    return result.to_text(title="Fig. 5a -- dynamic policies") + "\n" + gains
+
+
+def _run_fig5b(args) -> str:
+    from repro.experiments.fig5_comparison import run_fig5b
+
+    result = run_fig5b(scale=_SCALES[args.scale], seed=args.seed)
+    gains = "\n".join(
+        f"Geomancy gain over {name}: {result.gain_percent(name):+.1f}%"
+        for name in sorted(result.results)
+        if name != "Geomancy dynamic"
+    )
+    return result.to_text(title="Fig. 5b -- static policies") + "\n" + gains
+
+
+def _run_table4(args) -> str:
+    from repro.experiments.table4_overhead import run_table4
+
+    return run_table4(scale=_SCALES[args.scale], seed=args.seed).to_text()
+
+
+def _run_fig6(args) -> str:
+    from repro.experiments.fig6_adaptation import run_fig6
+
+    return run_fig6(scale=_SCALES[args.scale], seed=args.seed).to_text()
+
+
+def _run_robustness(args) -> str:
+    from repro.experiments.robustness import run_robustness
+
+    return run_robustness(
+        seeds=tuple(args.seeds), scale=_SCALES[args.scale]
+    ).to_text()
+
+
+def _run_overhead(args) -> str:
+    from repro.experiments.overhead import run_overhead_study
+
+    scale = _SCALES[args.scale]
+    return run_overhead_study(
+        rows=scale.training_rows, epochs=scale.epochs, seed=args.seed
+    ).to_text()
+
+
+def _run_model_selection(args) -> str:
+    from repro.experiments.model_selection import run_model_selection
+
+    scale = _SCALES[args.scale]
+    return run_model_selection(
+        rows=scale.training_rows, epochs=scale.epochs, seed=args.seed
+    ).to_text()
+
+
+def _run_testbed(args) -> str:
+    from repro.simulation.bluesky import describe_bluesky
+
+    return describe_bluesky()
+
+
+def _run_synth_trace(args) -> str:
+    from repro.replaydb.traceio import save_trace_jsonl
+    from repro.workloads.eos import EOSTraceSynthesizer
+
+    records = EOSTraceSynthesizer(seed=args.seed).records(args.rows)
+    written = save_trace_jsonl(records, args.output)
+    return f"wrote {written} records to {args.output}"
+
+
+_COMMANDS = {
+    "fig4": _run_fig4,
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "table3": _run_table3,
+    "fig5a": _run_fig5a,
+    "fig5b": _run_fig5b,
+    "table4": _run_table4,
+    "fig6": _run_fig6,
+    "robustness": _run_robustness,
+    "overhead": _run_overhead,
+    "model-selection": _run_model_selection,
+    "testbed": _run_testbed,
+    "synth-trace": _run_synth_trace,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(_COMMANDS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""The MAE-sign prediction adjustment (paper section V-G).
+
+"To determine if we have to add or subtract MAE x prediction to prediction,
+we can take the sign of the average relative error to indicate if most of
+our current predictions are under or over the target values.  If the sign is
+positive, we are underpredicting ...
+
+    AdjustedPrediction = prediction_i +/- MAE x prediction_i"
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.metrics import absolute_relative_error, signed_relative_error
+
+
+class PredictionAdjuster:
+    """Learned multiplicative bias correction for engine predictions."""
+
+    def __init__(self) -> None:
+        self._mae: float | None = None
+        self._sign: int = 0
+
+    @property
+    def fitted(self) -> bool:
+        return self._mae is not None
+
+    @property
+    def mae(self) -> float:
+        """Mean absolute relative error (fraction) on the calibration set."""
+        if self._mae is None:
+            raise ModelError("adjuster used before fit()")
+        return self._mae
+
+    @property
+    def sign(self) -> int:
+        """+1 when the model under-predicts on average, -1 when over."""
+        if self._mae is None:
+            raise ModelError("adjuster used before fit()")
+        return self._sign
+
+    def fit(self, predictions: np.ndarray, targets: np.ndarray) -> "PredictionAdjuster":
+        """Calibrate from held-out (validation) predictions and targets."""
+        errors = absolute_relative_error(
+            np.asarray(predictions), np.asarray(targets)
+        )
+        self._mae = float(np.mean(errors))
+        signed = signed_relative_error(
+            np.asarray(predictions), np.asarray(targets)
+        )
+        self._sign = 1 if signed >= 0 else -1
+        return self
+
+    def adjust(self, predictions: np.ndarray) -> np.ndarray:
+        """Apply ``prediction +/- MAE * prediction``."""
+        if self._mae is None:
+            raise ModelError("adjuster used before fit()")
+        predictions = np.asarray(predictions, dtype=np.float64)
+        return predictions * (1.0 + self._sign * self._mae)

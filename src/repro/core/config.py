@@ -1,0 +1,130 @@
+"""Geomancy configuration.
+
+Defaults follow the paper's live experiment: Table-I model 1, the six live
+features, 12,000 training rows, 200 epochs of plain SGD, a moving-average
+smoothing window, 10% random exploration, data movement every 5 workload
+runs, and at most 14 files moved at once ("On average, Geomancy moves
+between 1-14 files in one movement").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.features.pipeline import DEFAULT_LIVE_FEATURES
+from repro.nn.model_zoo import ARCHITECTURES
+
+
+@dataclass
+class GeomancyConfig:
+    """All Geomancy tunables in one place."""
+
+    model_number: int = 1
+    features: tuple[str, ...] = field(default=DEFAULT_LIVE_FEATURES)
+    training_rows: int = 12_000
+    epochs: int = 200
+    batch_size: int = 32
+    learning_rate: float = 0.2
+    optimizer: str = "sgd"
+    smoothing_window: int = 50
+    #: window length for the recurrent Table-I models
+    timesteps: int = 8
+    #: recent accesses per file averaged in the per-location probe
+    probe_samples: int = 8
+    #: a move is proposed only when the predicted throughput at the best
+    #: location exceeds the current location's by this fraction ("it only
+    #: applies layouts that the NN predicts will increase throughput")
+    min_gain_fraction: float = 0.10
+    exploration_rate: float = 0.10
+    cooldown_runs: int = 5
+    max_files_per_move: int = 14
+    #: apply the section V-G MAE-sign adjustment to predictions
+    adjust_predictions: bool = True
+    #: continue training the existing weights each cycle ("re-trains a
+    #: neural network using the most recent values") instead of
+    #: reinitializing; warm starts accumulate skill across cycles
+    warm_start: bool = True
+    #: act only on cycles whose model out-predicts a constant baseline
+    #: (skip the layout otherwise; see TrainingReport.skillful)
+    require_skill: bool = True
+    #: act only when the model's per-device ranking agrees with observed
+    #: telemetry (Spearman >= 0); blocks inverted models whose layout
+    #: would herd files onto the worst devices
+    require_ranking_sanity: bool = True
+    #: backstop: never act on a model whose held-out error exceeds this
+    #: (percent), regardless of its skill against the constant baseline
+    max_actionable_mare: float = 300.0
+    #: only move files whose observed inter-access gap accommodates the
+    #: estimated transfer (the section X future-work gap model,
+    #: implemented by repro.core.scheduler.AccessGapScheduler)
+    use_gap_scheduler: bool = False
+    #: modeling target: "throughput" (the paper's live system) or
+    #: "latency" (the sensitivity the paper defers to future work)
+    target: str = "throughput"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.model_number not in ARCHITECTURES:
+            raise ConfigurationError(
+                f"model_number must be one of {sorted(ARCHITECTURES)}, "
+                f"got {self.model_number}"
+            )
+        if not self.features:
+            raise ConfigurationError("features must be non-empty")
+        if self.training_rows < 10:
+            raise ConfigurationError(
+                f"training_rows must be >= 10, got {self.training_rows}"
+            )
+        if self.epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {self.epochs}")
+        if self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.learning_rate <= 0:
+            raise ConfigurationError(
+                f"learning_rate must be positive, got {self.learning_rate}"
+            )
+        if self.smoothing_window < 1:
+            raise ConfigurationError(
+                f"smoothing_window must be >= 1, got {self.smoothing_window}"
+            )
+        if self.timesteps < 1:
+            raise ConfigurationError(
+                f"timesteps must be >= 1, got {self.timesteps}"
+            )
+        if self.probe_samples < 1:
+            raise ConfigurationError(
+                f"probe_samples must be >= 1, got {self.probe_samples}"
+            )
+        if self.min_gain_fraction < 0:
+            raise ConfigurationError(
+                f"min_gain_fraction must be >= 0, got {self.min_gain_fraction}"
+            )
+        if not 0.0 <= self.exploration_rate <= 1.0:
+            raise ConfigurationError(
+                f"exploration_rate must be in [0, 1], got {self.exploration_rate}"
+            )
+        if self.cooldown_runs < 1:
+            raise ConfigurationError(
+                f"cooldown_runs must be >= 1, got {self.cooldown_runs}"
+            )
+        if self.max_files_per_move < 1:
+            raise ConfigurationError(
+                f"max_files_per_move must be >= 1, got {self.max_files_per_move}"
+            )
+        if self.max_actionable_mare <= 0:
+            raise ConfigurationError(
+                f"max_actionable_mare must be positive, "
+                f"got {self.max_actionable_mare}"
+            )
+        if self.target not in ("throughput", "latency"):
+            raise ConfigurationError(
+                f"target must be 'throughput' or 'latency', got {self.target!r}"
+            )
+
+    @property
+    def z(self) -> int:
+        """Number of input features (the paper's Z)."""
+        return len(self.features)

@@ -1,0 +1,311 @@
+"""The DRL engine (paper sections V-A, V-B, V-C).
+
+"the Deep Reinforcement Learning (DRL) engine determines any updates needed
+to be done to the target system's data layout.  The DRL engine re-trains a
+neural network using the most recent values stored in the ReplayDB to
+calculate future values of the throughput."
+
+The engine's prediction surface is per-location: for a file's most recent
+access, it builds a probe batch whose rows differ only in the location
+column (including the current location) and picks the location with the
+highest predicted throughput.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.adjustment import PredictionAdjuster
+from repro.core.config import GeomancyConfig
+from repro.errors import ModelError
+from repro.features.pipeline import FeaturePipeline, make_windows
+from repro.nn.metrics import is_diverged, mean_absolute_relative_error
+from repro.nn.model_zoo import build_model, is_recurrent
+from repro.nn.network import train_val_test_split
+from repro.nn.optimizers import get_optimizer
+from repro.replaydb.db import ReplayDB
+from repro.replaydb.records import AccessRecord
+
+
+def _spearman(a: list[float], b: list[float]) -> float:
+    """Spearman rank correlation for two small equal-length lists."""
+    if len(a) != len(b):
+        raise ModelError(f"length mismatch: {len(a)} vs {len(b)}")
+
+    def ranks(values: list[float]) -> np.ndarray:
+        order = np.argsort(values)
+        out = np.empty(len(values))
+        out[order] = np.arange(len(values), dtype=np.float64)
+        return out
+
+    ra, rb = ranks(a), ranks(b)
+    ra -= ra.mean()
+    rb -= rb.mean()
+    denom = np.sqrt((ra * ra).sum() * (rb * rb).sum())
+    if denom == 0.0:
+        return 0.0
+    return float((ra * rb).sum() / denom)
+
+
+@dataclass
+class TrainingReport:
+    """Outcome of one engine (re)training cycle."""
+
+    samples: int
+    epochs: int
+    train_seconds: float
+    #: mean/std absolute relative error (%) on the held-out test split
+    test_mare: float
+    test_mare_std: float
+    #: error of a predict-the-training-mean baseline on the same split
+    constant_mare: float
+    diverged: bool
+    #: calibrated adjustment parameters (fractions)
+    adjustment_mae: float
+    adjustment_sign: int
+
+    @property
+    def accuracy_percent(self) -> float:
+        """The paper's "accuracy" reading: 100 - MARE, floored at 0."""
+        return max(0.0, 100.0 - self.test_mare)
+
+    @property
+    def skillful(self) -> bool:
+        """Whether the model out-predicts a constant (train-mean) baseline.
+
+        Used as the act/skip gate: a cycle whose model carries no skill
+        proposes noise, and the paper only applies "layouts that the NN
+        predicts will increase throughput performance".
+        """
+        return not self.diverged and self.test_mare < self.constant_mare
+
+
+class DRLEngine:
+    """Trains on ReplayDB telemetry; predicts throughput per location."""
+
+    def __init__(self, config: GeomancyConfig | None = None) -> None:
+        self.config = config if config is not None else GeomancyConfig()
+        self.pipeline = FeaturePipeline(
+            self.config.features,
+            smoothing_window=self.config.smoothing_window,
+            target=self.config.target,
+        )
+        #: for throughput targets higher predictions are better; for
+        #: latency targets (paper V-C future work) lower is better
+        self._maximize = self.config.target == "throughput"
+        self._recurrent = is_recurrent(self.config.model_number)
+        self.model = self._fresh_model()
+        self.adjuster = PredictionAdjuster()
+        self.last_report: TrainingReport | None = None
+
+    def _fresh_model(self):
+        return build_model(
+            self.config.model_number, self.config.z, seed=self.config.seed
+        )
+
+    @property
+    def trained(self) -> bool:
+        return self.last_report is not None
+
+    # -- training ----------------------------------------------------------
+    def train_on_records(self, records: list[AccessRecord]) -> TrainingReport:
+        """Retrain from scratch on a chronological record batch.
+
+        The paper's protocol: 60/20/20 chronological split, N epochs of
+        plain SGD, MAE-sign adjustment calibrated on the validation split,
+        accuracy reported on the test split.
+        """
+        if len(records) < 10:
+            raise ModelError(
+                f"need at least 10 records to train, got {len(records)}"
+            )
+        # Normalization bounds are learned once and then frozen: a
+        # warm-started model must see consistently scaled inputs/targets
+        # across cycles (later values beyond the bounds extrapolate
+        # linearly, which the normalizer supports).
+        if not self.pipeline.fitted:
+            self.pipeline.fit(records)
+        x = self.pipeline.transform_features(records)
+        y = self.pipeline.transform_target(records)
+        if self._recurrent:
+            x, y = make_windows(x, y, self.config.timesteps)
+        xt, yt, xv, yv, xs, ys = train_val_test_split(x, y)
+        if not (self.config.warm_start and self.trained):
+            self.model = self._fresh_model()
+        optimizer = get_optimizer(
+            self.config.optimizer, learning_rate=self.config.learning_rate
+        )
+        start = time.perf_counter()
+        history = self.model.fit(
+            xt, yt,
+            epochs=self.config.epochs,
+            batch_size=self.config.batch_size,
+            optimizer=optimizer,
+            validation_data=(xv, yv) if len(xv) else None,
+        )
+        elapsed = time.perf_counter() - start
+        # Calibrate and score in physical units (bytes/s): relative error on
+        # the normalized [0, 1] scale explodes near its zero point, while
+        # the paper's Table II/III errors are on measured throughput.
+        calib_x, calib_y = (xv, yv) if len(xv) else (xt, yt)
+        self.adjuster.fit(
+            self.pipeline.inverse_transform_target(
+                self.model.predict(calib_x).ravel()
+            ),
+            self.pipeline.inverse_transform_target(calib_y),
+        )
+        test_x, test_y = (xs, ys) if len(xs) else (xt, yt)
+        test_pred = self.pipeline.inverse_transform_target(
+            self.model.predict(test_x).ravel()
+        )
+        test_true = self.pipeline.inverse_transform_target(test_y)
+        mare, mare_std = mean_absolute_relative_error(test_pred, test_true)
+        train_mean = float(
+            np.mean(self.pipeline.inverse_transform_target(yt))
+        )
+        constant_mare, _ = mean_absolute_relative_error(
+            np.full_like(test_true, train_mean), test_true
+        )
+        report = TrainingReport(
+            samples=len(records),
+            epochs=history.epochs_run,
+            train_seconds=elapsed,
+            test_mare=mare,
+            test_mare_std=mare_std,
+            constant_mare=constant_mare,
+            diverged=history.diverged or is_diverged(test_pred, test_true),
+            adjustment_mae=self.adjuster.mae,
+            adjustment_sign=self.adjuster.sign,
+        )
+        self.last_report = report
+        return report
+
+    def train(self, db: ReplayDB) -> TrainingReport:
+        """Retrain on the most recent ``training_rows`` ReplayDB accesses."""
+        records = db.recent_accesses(self.config.training_rows)
+        return self.train_on_records(records)
+
+    # -- prediction --------------------------------------------------------
+    def predict_location_throughputs(
+        self, base: AccessRecord, fsids: list[int]
+    ) -> dict[int, float]:
+        """Predicted throughput (bytes/s) of ``base``'s file per location.
+
+        Applies the MAE-sign adjustment when configured.  Raw (normalized)
+        model outputs are inverse-transformed into physical units so
+        locations are compared on bytes/s.
+        """
+        if not self.trained:
+            raise ModelError("engine must be trained before predicting")
+        probe = self.pipeline.build_location_probe(base, fsids)
+        predictions = self.model.predict(probe).ravel()
+        throughput = self.pipeline.inverse_transform_target(predictions)
+        if self.config.adjust_predictions:
+            throughput = self.adjuster.adjust(throughput)
+        return dict(zip(fsids, (float(v) for v in throughput)))
+
+    def ranking_correlation(
+        self,
+        db: ReplayDB,
+        device_by_fsid: dict[int, str],
+        *,
+        probe_bases: int = 32,
+    ) -> float:
+        """Agreement between predicted and observed device orderings.
+
+        Spearman rank correlation between (a) the model's mean per-device
+        prediction over a sample of recent accesses and (b) each device's
+        mean observed target in the ReplayDB.  +1 means the model ranks
+        devices exactly as the telemetry does; negative means the model is
+        *inverted* and acting on it would move files toward the worst
+        devices.  Returns 1.0 when fewer than two devices have telemetry.
+        """
+        if not self.trained:
+            raise ModelError("engine must be trained before predicting")
+        observed: dict[int, float] = {}
+        for fsid, device in device_by_fsid.items():
+            try:
+                tp = db.average_throughput(device=device)
+            except Exception:
+                continue
+            # For latency targets lower observed *throughput* still means
+            # a worse device, so the observed ordering is the same.
+            observed[fsid] = tp
+        if len(observed) < 2:
+            return 1.0
+        fsids = sorted(observed)
+        bases = db.recent_accesses(probe_bases)
+        totals = {fsid: 0.0 for fsid in fsids}
+        for base in bases:
+            scores = self.predict_location_throughputs(base, fsids)
+            for fsid in fsids:
+                totals[fsid] += scores[fsid]
+        predicted = [totals[fsid] for fsid in fsids]
+        if not self._maximize:
+            # Latency predictions: smaller is better, so invert for the
+            # comparison against observed throughput.
+            predicted = [-p for p in predicted]
+        return _spearman(predicted, [observed[fsid] for fsid in fsids])
+
+    def propose_layout(
+        self,
+        db: ReplayDB,
+        fids: list[int],
+        device_by_fsid: dict[int, str],
+    ) -> tuple[dict[int, str], dict[int, float]]:
+        """Highest-predicted-throughput device for every file.
+
+        Returns ``(layout, gains)``: the proposed fid -> device mapping and
+        each file's predicted throughput improvement over staying put
+        (bytes/s), which the move cap uses to prioritise.  Files with no
+        telemetry yet are skipped (nothing to probe from).
+        """
+        if not device_by_fsid:
+            raise ModelError("no candidate locations supplied")
+        fsids = sorted(device_by_fsid)
+        layout: dict[int, str] = {}
+        gains: dict[int, float] = {}
+        for fid in fids:
+            recent = db.recent_accesses(self.config.probe_samples, fid=fid)
+            if not recent:
+                continue
+            # Average the per-location scores over several recent accesses:
+            # a single access's features carry noise (burst position,
+            # request size) that would otherwise whipsaw placements.
+            totals = {fsid: 0.0 for fsid in fsids}
+            for base in recent:
+                scores = self.predict_location_throughputs(base, fsids)
+                for fsid in fsids:
+                    totals[fsid] += scores[fsid]
+            scores = {fsid: total / len(recent) for fsid, total in totals.items()}
+            if self._maximize:
+                best = max(scores, key=lambda fsid: scores[fsid])
+            else:
+                best = min(scores, key=lambda fsid: scores[fsid])
+            current_fsid = recent[-1].fsid
+            if current_fsid in scores:
+                current_score = scores[current_fsid]
+                gain = (
+                    scores[best] - current_score
+                    if self._maximize
+                    else current_score - scores[best]
+                )
+                # Propose a move only when the model predicts a clear win
+                # at the new location; flat or marginal predictions keep
+                # the file where it is ("it only applies layouts that the
+                # NN predicts will increase throughput performance", VI).
+                threshold = self.config.min_gain_fraction * abs(current_score)
+                if best != current_fsid and gain <= threshold:
+                    best = current_fsid
+                    gain = 0.0
+            else:
+                # The file's current device is not a candidate (it stopped
+                # accepting placements): moving to the best available
+                # location is always proposed.
+                gain = abs(scores[best])
+            layout[fid] = device_by_fsid[best]
+            gains[fid] = gain
+        return layout, gains

@@ -1,0 +1,211 @@
+"""The Geomancy facade: the full observe -> train -> predict -> move loop.
+
+Wires together the paper's Fig. 2 components around one target cluster:
+
+* per-device **monitoring agents** stream access telemetry over a
+  transport to the **Interface Daemon**, which lands it in the **ReplayDB**;
+* every cooldown period the **DRL engine** retrains on the most recent
+  telemetry and proposes a per-file layout;
+* the **Action Checker** validates targets (and explores randomly 10% of
+  the time), the move cap bounds transfer volume, and the **control
+  agent** executes the surviving moves on the cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agents.control import ControlAgent
+from repro.agents.daemon import InterfaceDaemon
+from repro.agents.messages import LayoutCommand
+from repro.agents.monitoring import MonitoringAgent
+from repro.agents.transport import InMemoryTransport
+from repro.core.action_checker import ActionChecker
+from repro.core.config import GeomancyConfig
+from repro.core.engine import DRLEngine, TrainingReport
+from repro.core.layout import as_layout, cap_moves, layout_diff
+from repro.core.scheduler import AccessGapScheduler, CooldownScheduler
+from repro.errors import AgentError, ConfigurationError
+from repro.policies.static import EvenSpreadPolicy
+from repro.replaydb.db import ReplayDB
+from repro.replaydb.records import AccessRecord, MovementRecord
+from repro.simulation.cluster import StorageCluster
+from repro.workloads.files import FileSpec
+
+
+@dataclass
+class StepOutcome:
+    """What one ``after_run`` consultation did."""
+
+    run_index: int
+    trained: bool = False
+    training: TrainingReport | None = None
+    movements: list[MovementRecord] = field(default_factory=list)
+
+    @property
+    def moved_files(self) -> int:
+        return len(self.movements)
+
+
+class Geomancy:
+    """Geomancy attached to one target cluster and one workload file set."""
+
+    #: accesses required in the ReplayDB before the engine first trains
+    MIN_TRAINING_ACCESSES = 50
+
+    def __init__(
+        self,
+        cluster: StorageCluster,
+        files: list[FileSpec],
+        config: GeomancyConfig | None = None,
+        *,
+        db: ReplayDB | None = None,
+    ) -> None:
+        if not files:
+            raise ConfigurationError("Geomancy needs a workload file set")
+        self.cluster = cluster
+        self.files = list(files)
+        self.config = config if config is not None else GeomancyConfig()
+        self.db = db if db is not None else ReplayDB()
+        self.telemetry = InMemoryTransport()
+        self.commands = InMemoryTransport()
+        self.daemon = InterfaceDaemon(self.db, self.telemetry, self.commands)
+        self.monitors = {
+            name: MonitoringAgent(name, self.telemetry)
+            for name in cluster.device_names
+        }
+        self.control = ControlAgent(cluster)
+        self.engine = DRLEngine(self.config)
+        self.checker = ActionChecker(
+            self.config.exploration_rate, seed=self.config.seed
+        )
+        self.scheduler = CooldownScheduler(self.config.cooldown_runs)
+        self.gap_scheduler = (
+            AccessGapScheduler() if self.config.use_gap_scheduler else None
+        )
+        self.outcomes: list[StepOutcome] = []
+
+    # -- placement -----------------------------------------------------------
+    def place_initial(self, layout: dict[int, str] | None = None) -> dict[int, str]:
+        """Register the workload files, spread evenly unless told otherwise."""
+        if layout is None:
+            layout = EvenSpreadPolicy().initial_layout(
+                self.files, self.cluster.device_names
+            )
+        existing = {info.fid for info in self.cluster.files}
+        for spec in self.files:
+            if spec.fid not in existing:
+                self.cluster.add_file(
+                    spec.fid, spec.path, spec.size_bytes, layout[spec.fid]
+                )
+        return layout
+
+    # -- telemetry -----------------------------------------------------------
+    def observe(self, record: AccessRecord) -> None:
+        """Route one access through its device's monitoring agent."""
+        try:
+            monitor = self.monitors[record.device]
+        except KeyError:
+            raise AgentError(
+                f"no monitoring agent for device {record.device!r}"
+            ) from None
+        monitor.observe(record)
+
+    def observe_run(self, records: list[AccessRecord]) -> None:
+        """Route a whole run's telemetry and land it in the ReplayDB."""
+        for record in records:
+            self.observe(record)
+        self.flush_telemetry(
+            at=records[-1].close_time if records else 0.0
+        )
+
+    def flush_telemetry(self, at: float) -> int:
+        """Flush every agent's buffer and pump the daemon."""
+        for monitor in self.monitors.values():
+            monitor.flush(at=at)
+        return self.daemon.pump_telemetry()
+
+    # -- the decision loop -----------------------------------------------------
+    def after_run(self, run_index: int, t: float) -> StepOutcome:
+        """Consult Geomancy after workload run ``run_index`` finished at ``t``.
+
+        Trains + moves only when the cooldown scheduler allows it and
+        enough telemetry has accumulated.
+        """
+        outcome = StepOutcome(run_index=run_index)
+        self.outcomes.append(outcome)
+        if not self.scheduler.should_move(run_index):
+            return outcome
+        if self.db.access_count() < self.MIN_TRAINING_ACCESSES:
+            return outcome
+        outcome.training = self.engine.train(self.db)
+        outcome.trained = True
+        if (
+            (self.config.require_skill and not outcome.training.skillful)
+            or outcome.training.diverged
+            or outcome.training.test_mare > self.config.max_actionable_mare
+        ):
+            # A diverged or skill-less model's layout would be noise; skip
+            # this cycle and let the next retraining try again.
+            return outcome
+        # Only devices currently accepting placements are candidates; the
+        # Action Checker is the final filter in case availability changed
+        # between prediction and application (paper section V-H).
+        available = self.cluster.available_device_names
+        device_by_fsid = {
+            self.cluster.device(name).fsid: name for name in available
+        }
+        if not device_by_fsid:
+            return outcome
+        if (
+            self.config.require_ranking_sanity
+            and self.engine.ranking_correlation(self.db, device_by_fsid) < 0.0
+        ):
+            # The model currently ranks devices opposite to what telemetry
+            # shows; acting on it would herd files onto the worst mounts.
+            return outcome
+        fids = [spec.fid for spec in self.files]
+        proposal, gains = self.engine.propose_layout(
+            self.db, fids, device_by_fsid
+        )
+        current = {
+            fid: device for fid, device in self.cluster.layout().items()
+            if fid in set(fids)
+        }
+        checked = self.checker.check(proposal, set(available), current)
+        changes = layout_diff(current, checked)
+        changes = cap_moves(changes, self.config.max_files_per_move, gains)
+        if self.gap_scheduler is not None:
+            # Section X extension: only move files whose observed access
+            # gaps accommodate the transfer ("We will not consider moving
+            # files that are always accessed and never released").
+            changes = [
+                change for change in changes
+                if self.gap_scheduler.can_move(
+                    self.db,
+                    change.fid,
+                    self.cluster.link.transfer_time(
+                        self.cluster.file(change.fid).size_bytes
+                    ),
+                )
+            ]
+        if not changes:
+            return outcome
+        self.daemon.send_layout(as_layout(changes), at=t)
+        command = self.commands.receive()
+        if not isinstance(command, LayoutCommand):
+            raise AgentError(
+                f"command channel carried {type(command).__name__}"
+            )
+        outcome.movements = self.control.execute(command)
+        self.daemon.record_movements(outcome.movements)
+        return outcome
+
+    # -- reporting -----------------------------------------------------------
+    @property
+    def total_moves(self) -> int:
+        return sum(outcome.moved_files for outcome in self.outcomes)
+
+    def movement_history(self) -> list[tuple[float, int]]:
+        """(timestamp, files moved) clusters for the Fig. 5 bar charts."""
+        return self.db.movement_clusters(gap=5.0)

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the Geomancy reproduction.
+
+Every package raises subclasses of :class:`ReproError` so callers can catch
+library failures without also swallowing programming errors (``TypeError``,
+``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+class ModelError(ReproError):
+    """A neural-network model was built or used incorrectly."""
+
+
+class ShapeError(ModelError):
+    """An array has the wrong shape for the requested operation."""
+
+
+class DivergedError(ModelError):
+    """Training diverged (NaN/inf loss or constant useless predictions).
+
+    Table II of the paper marks models 2 and 5 as *Diverged*; this error is
+    how the training loop reports that condition programmatically.
+    """
+
+
+class FeatureError(ReproError):
+    """Feature extraction or normalization failed."""
+
+
+class ReplayDBError(ReproError):
+    """The replay database rejected an operation."""
+
+
+class SimulationError(ReproError):
+    """The storage-cluster simulator was driven into an invalid state."""
+
+
+class UnknownDeviceError(SimulationError):
+    """A device id does not exist in the cluster."""
+
+
+class UnknownFileError(SimulationError):
+    """A file id does not exist in the cluster namespace."""
+
+
+class CapacityError(SimulationError):
+    """A placement would exceed a storage device's capacity."""
+
+
+class DeviceUnavailableError(SimulationError):
+    """A placement targeted a device that is not accepting new data.
+
+    Models the paper's "in case permissions or availability changes in the
+    system" (section V-H) -- the condition the Action Checker exists to
+    filter out.
+    """
+
+
+class PolicyError(ReproError):
+    """A placement policy produced an invalid layout."""
+
+
+class AgentError(ReproError):
+    """A monitoring/control agent or the interface daemon failed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured or run incorrectly."""

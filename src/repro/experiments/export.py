@@ -1,0 +1,78 @@
+"""Export experiment series for external plotting.
+
+The ASCII sparklines in the benchmark outputs summarize shape; for real
+figures, these helpers dump the measured series to CSV: one bucketed
+throughput series per policy for Fig. 5, and the two workload series (with
+the disturbance marker) for Fig. 6.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+
+from repro.errors import ExperimentError
+from repro.experiments.fig5_comparison import Fig5Result
+from repro.experiments.fig6_adaptation import Fig6Result
+from repro.experiments.reporting import bucket_series
+
+
+def export_fig5_csv(
+    result: Fig5Result, path: str | os.PathLike, *, bucket: int = 500
+) -> int:
+    """Write ``access_number, <policy columns...>`` rows.
+
+    Policies may have slightly different series lengths (dynamic runs vary
+    in ops per run); rows are emitted up to the longest series, with empty
+    cells where a policy's series has ended.  Returns the row count.
+    """
+    if not result.results:
+        raise ExperimentError("no policy results to export")
+    series = {}
+    for name, run in result.results.items():
+        edges, means = bucket_series(run.throughput_gbps, bucket)
+        series[name] = dict(zip(edges.tolist(), means.tolist()))
+    all_edges = sorted({edge for s in series.values() for edge in s})
+    names = sorted(series)
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["access_number"] + names)
+        for edge in all_edges:
+            writer.writerow(
+                [edge] + [
+                    f"{series[name][edge]:.6f}" if edge in series[name] else ""
+                    for name in names
+                ]
+            )
+    return len(all_edges)
+
+
+def export_fig6_csv(
+    result: Fig6Result, path: str | os.PathLike, *, bucket: int = 500
+) -> int:
+    """Write the tuned/competing series with a disturbance column."""
+    tuned_edges, tuned_means = bucket_series(result.tuned_gbps, bucket)
+    comp_edges, comp_means = bucket_series(result.competing_gbps, bucket)
+    competing = dict(zip(comp_edges.tolist(), comp_means.tolist()))
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["tuned_access_number", "tuned_gbps", "competing_gbps",
+             "after_disturbance"]
+        )
+        rows = 0
+        for edge, mean in zip(tuned_edges.tolist(), tuned_means.tolist()):
+            # Align the competitor by its own access count relative to the
+            # disturbance point on the tuned axis.
+            comp_edge = edge - result.disturbance_access
+            comp_value = competing.get(comp_edge, "")
+            writer.writerow(
+                [
+                    edge,
+                    f"{mean:.6f}",
+                    f"{comp_value:.6f}" if comp_value != "" else "",
+                    int(edge > result.disturbance_access),
+                ]
+            )
+            rows += 1
+    return rows

@@ -1,0 +1,187 @@
+"""Fig. 5: Geomancy against dynamic (5a) and static (5b) placement policies.
+
+Experiment 1 of the paper: every policy steers the same seeded BELLE II
+workload on its own copy of the same seeded Bluesky cluster, so the
+environments are identical and only placement differs.  The paper's
+headline: "Geomancy outperforms both static and dynamic data placement
+algorithms by at least 11%".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.experiments.harness import (
+    PolicyRunResult,
+    make_experiment_config,
+    run_policy_experiment,
+)
+from repro.experiments.reporting import (
+    ascii_table,
+    bucket_series,
+    movement_bars,
+    sparkline,
+)
+from repro.experiments.spec import ExperimentScale, TEST_SCALE
+from repro.policies.geomancy_policy import (
+    GeomancyDynamicPolicy,
+    GeomancyStaticPolicy,
+)
+from repro.policies.lfu import LFUPolicy
+from repro.policies.lru import LRUPolicy
+from repro.policies.mru import MRUPolicy
+from repro.policies.random_policy import RandomDynamicPolicy, RandomStaticPolicy
+from repro.policies.static import EvenSpreadPolicy
+from repro.replaydb.db import ReplayDB
+from repro.simulation.bluesky import make_bluesky_cluster
+from repro.workloads.belle2 import Belle2Workload
+from repro.workloads.files import belle2_file_population
+from repro.workloads.runner import WorkloadRunner
+
+GEOMANCY = "Geomancy dynamic"
+
+
+@dataclass
+class Fig5Result:
+    """Per-policy measurements for one Fig. 5 panel."""
+
+    results: dict[str, PolicyRunResult]
+
+    def mean(self, name: str) -> float:
+        try:
+            return self.results[name].mean_throughput
+        except KeyError:
+            raise ExperimentError(
+                f"no result for {name!r}; have {sorted(self.results)}"
+            ) from None
+
+    def gain_percent(self, over: str, *, of: str = GEOMANCY) -> float:
+        """Throughput gain of ``of`` (Geomancy) over policy ``over``."""
+        base = self.mean(over)
+        if base <= 0:
+            raise ExperimentError(f"{over!r} measured non-positive throughput")
+        return (self.mean(of) - base) / base * 100.0
+
+    def best_baseline(self) -> str:
+        """The strongest non-Geomancy policy."""
+        candidates = {
+            name: result.mean_throughput
+            for name, result in self.results.items()
+            if name != GEOMANCY
+        }
+        if not candidates:
+            raise ExperimentError("no baseline policies in result")
+        return max(candidates, key=candidates.get)
+
+    def to_text(self, *, bucket: int = 500, title: str = "Fig. 5") -> str:
+        rows = []
+        for name, result in sorted(
+            self.results.items(),
+            key=lambda kv: kv[1].mean_throughput,
+            reverse=True,
+        ):
+            _, series = bucket_series(result.throughput_gbps, bucket)
+            rows.append(
+                (
+                    name,
+                    f"{result.mean_throughput:.2f}",
+                    f"{result.std_throughput:.2f}",
+                    result.total_files_moved,
+                    sparkline(series, width=40),
+                )
+            )
+        table = ascii_table(
+            ["policy", "mean GB/s", "std", "files moved",
+             f"throughput per {bucket} accesses"],
+            rows,
+            title=title,
+        )
+        # The paper draws Geomancy's movement bars under the curves.
+        geomancy = self.results.get(GEOMANCY)
+        if geomancy is not None and geomancy.movements:
+            bars = movement_bars(
+                geomancy.movements, max(geomancy.access_count, 1), width=40
+            )
+            table += "\nGeomancy movements:\n" + bars
+        return table
+
+
+def _geomancy_device_map(seed: int) -> dict[int, str]:
+    cluster = make_bluesky_cluster(seed=seed)
+    return {
+        cluster.device(name).fsid: name for name in cluster.device_names
+    }
+
+
+def run_fig5a(
+    *, scale: ExperimentScale = TEST_SCALE, seed: int = 0
+) -> Fig5Result:
+    """Experiment 1, dynamic policies: LRU / MRU / LFU / random dynamic
+    versus Geomancy dynamic."""
+    device_by_fsid = _geomancy_device_map(seed)
+    policies = [
+        LRUPolicy(),
+        MRUPolicy(),
+        LFUPolicy(),
+        RandomDynamicPolicy(seed=seed),
+        GeomancyDynamicPolicy(
+            device_by_fsid, make_experiment_config(scale, seed=seed)
+        ),
+    ]
+    results = {
+        policy.name: run_policy_experiment(policy, scale=scale, seed=seed)
+        for policy in policies
+    }
+    return Fig5Result(results=results)
+
+
+def collect_random_dynamic_telemetry(
+    *, scale: ExperimentScale = TEST_SCALE, seed: int = 0
+) -> ReplayDB:
+    """Warm-up telemetry from a random-dynamic run (paper section VI:
+    Geomancy static "uses approximately 10,000 performance metrics from the
+    dynamic random experiment")."""
+    cluster = make_bluesky_cluster(seed=seed)
+    files = belle2_file_population(seed=seed)
+    db = ReplayDB()
+    runner = WorkloadRunner(
+        cluster, Belle2Workload(files, seed=1), db
+    )
+    policy = RandomDynamicPolicy(seed=seed)
+    runner.ensure_files_placed(
+        policy.initial_layout(files, cluster.device_names)
+    )
+    run_number = 0
+    while db.access_count() < scale.warmup_accesses:
+        runner.run_once()
+        run_number += 1
+        if run_number % scale.update_every == 0:
+            layout = policy.update_layout(db, files, cluster.device_names)
+            if layout:
+                cluster.apply_layout(layout, runner.clock.now)
+    return db
+
+
+def run_fig5b(
+    *, scale: ExperimentScale = TEST_SCALE, seed: int = 0
+) -> Fig5Result:
+    """Experiment 1, static policies: random static / even spread /
+    Geomancy static versus Geomancy dynamic."""
+    device_by_fsid = _geomancy_device_map(seed)
+    warmup_db = collect_random_dynamic_telemetry(scale=scale, seed=seed)
+    policies = [
+        RandomStaticPolicy(seed=seed),
+        EvenSpreadPolicy(),
+        GeomancyStaticPolicy(
+            warmup_db, device_by_fsid, make_experiment_config(scale, seed=seed)
+        ),
+        GeomancyDynamicPolicy(
+            device_by_fsid, make_experiment_config(scale, seed=seed)
+        ),
+    ]
+    results = {
+        policy.name: run_policy_experiment(policy, scale=scale, seed=seed)
+        for policy in policies
+    }
+    return Fig5Result(results=results)

@@ -1,0 +1,199 @@
+"""Fig. 6: Geomancy adapting after a competing workload appears.
+
+Experiment 3 of the paper: a Geomancy-tuned workload runs alone, then "a
+duplicate workload (not tuned by Geomancy) accessing a different set of
+data" starts on the same mounts.  "Although the original performance drops,
+Geomancy is able to respond to the changes and attempt to push performance
+back to what it once was."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.experiments.harness import make_experiment_config
+from repro.experiments.reporting import bucket_series, sparkline
+from repro.experiments.spec import ExperimentScale, TEST_SCALE
+from repro.policies.geomancy_policy import GeomancyDynamicPolicy
+from repro.replaydb.db import ReplayDB
+from repro.simulation.bluesky import make_bluesky_cluster
+from repro.simulation.clock import SimulationClock
+from repro.workloads.belle2 import Belle2Workload
+from repro.workloads.files import belle2_file_population
+from repro.workloads.interference import make_competing_workload
+from repro.workloads.runner import WorkloadRunner
+
+
+@dataclass
+class Fig6Result:
+    """Per-access series for the tuned and competing workloads."""
+
+    tuned_gbps: list[float] = field(default_factory=list)
+    competing_gbps: list[float] = field(default_factory=list)
+    #: tuned-workload access number at which the competitor started
+    disturbance_access: int = 0
+
+    def tuned_before(self) -> np.ndarray:
+        return np.asarray(self.tuned_gbps[: self.disturbance_access])
+
+    def tuned_after(self) -> np.ndarray:
+        return np.asarray(self.tuned_gbps[self.disturbance_access :])
+
+    def recovery_ratio(self, *, tail_fraction: float = 0.3) -> float:
+        """Late post-disturbance throughput relative to pre-disturbance.
+
+        1.0 means fully recovered; the immediate post-disturbance dip is
+        excluded by looking only at the final ``tail_fraction`` of the
+        post-disturbance series.
+        """
+        before = self.tuned_before()
+        after = self.tuned_after()
+        if before.size == 0 or after.size == 0:
+            raise ExperimentError("need accesses on both sides of the disturbance")
+        tail = after[int(len(after) * (1.0 - tail_fraction)) :]
+        return float(tail.mean() / before.mean())
+
+    def dip_ratio(self, *, head_fraction: float = 0.2) -> float:
+        """Immediate post-disturbance throughput relative to before."""
+        before = self.tuned_before()
+        after = self.tuned_after()
+        if before.size == 0 or after.size == 0:
+            raise ExperimentError("need accesses on both sides of the disturbance")
+        head = after[: max(1, int(len(after) * head_fraction))]
+        return float(head.mean() / before.mean())
+
+    def to_text(self, *, bucket: int = 500) -> str:
+        _, tuned = bucket_series(self.tuned_gbps, bucket)
+        _, competing = bucket_series(self.competing_gbps, bucket)
+        lines = [
+            "Fig. 6 -- response to a competing workload",
+            f"tuned workload    : {sparkline(tuned)}",
+            f"competing workload: {sparkline(competing)}",
+            f"disturbance at tuned access #{self.disturbance_access}",
+            f"dip ratio {self.dip_ratio():.2f}, "
+            f"recovery ratio {self.recovery_ratio():.2f}",
+        ]
+        return "\n".join(lines)
+
+
+def run_fig6(
+    *,
+    scale: ExperimentScale = TEST_SCALE,
+    seed: int = 0,
+    runs_before: int | None = None,
+    runs_after: int | None = None,
+) -> Fig6Result:
+    """Regenerate Fig. 6.
+
+    Phase 1: the tuned workload runs alone for ``runs_before`` runs with
+    Geomancy relayouts.  Phase 2: the duplicate untuned workload joins on
+    the same cluster (shared clock, shared device contention) for
+    ``runs_after`` interleaved runs; Geomancy keeps tuning only the
+    original workload.
+    """
+    if runs_before is None:
+        runs_before = max(scale.runs // 2, scale.update_every)
+    if runs_after is None:
+        runs_after = scale.runs
+    cluster = make_bluesky_cluster(seed=seed)
+    clock = SimulationClock()
+    files = belle2_file_population(seed=seed)
+    db = ReplayDB()
+    runner = WorkloadRunner(
+        cluster, Belle2Workload(files, seed=1), db, clock=clock
+    )
+    device_by_fsid = {
+        cluster.device(name).fsid: name for name in cluster.device_names
+    }
+    policy = GeomancyDynamicPolicy(
+        device_by_fsid, make_experiment_config(scale, seed=seed)
+    )
+    runner.ensure_files_placed(
+        policy.initial_layout(files, cluster.device_names)
+    )
+    runner.warm_up(scale.warmup_accesses)
+
+    result = Fig6Result()
+    run_number = 0
+
+    def tuned_step() -> None:
+        nonlocal run_number
+        run = runner.run_once()
+        result.tuned_gbps.extend(r.throughput_gbps for r in run.records)
+        run_number += 1
+        if run_number % scale.update_every == 0:
+            current = {
+                fid: device
+                for fid, device in cluster.layout().items()
+                if fid in {f.fid for f in files}
+            }
+            layout = policy.update_layout(
+                db, files, cluster.device_names, current
+            )
+            if layout:
+                cluster.apply_layout(layout, clock.now)
+
+    # Phase 1: alone.
+    for _ in range(runs_before):
+        tuned_step()
+    result.disturbance_access = len(result.tuned_gbps)
+
+    # Phase 2: the duplicate workload joins, untouched by Geomancy.  Its
+    # files mirror the tuned workload's current placement so the two
+    # "access common mounts" (section VI-c) and genuinely contend; the
+    # duplicate never moves afterwards.
+    dup_files, dup_workload = make_competing_workload(seed=seed + 99)
+    # The duplicate gets its own clock seeded to "now": both workloads then
+    # issue accesses at overlapping simulated timestamps, which is what
+    # makes them contend inside the devices' utilization windows.  (On a
+    # shared clock the accesses would serialize and never overlap.)
+    dup_runner = WorkloadRunner(
+        cluster, dup_workload, ReplayDB(), clock=SimulationClock(clock.now)
+    )
+    tuned_layout = cluster.layout()
+    offset = dup_files[0].fid - files[0].fid
+    mirror = {
+        dup.fid: tuned_layout.get(
+            dup.fid - offset,
+            cluster.device_names[dup.fid % len(cluster.device_names)],
+        )
+        for dup in dup_files
+    }
+    dup_runner.ensure_files_placed(mirror)
+    # Interleave the two workloads access-by-access so they genuinely
+    # contend inside each device's utilization window.
+    def interleaved_tuned_run() -> None:
+        nonlocal run_number
+        tuned_stream = runner.run_stream()
+        dup_stream = dup_runner.run_stream()
+        while True:
+            progressed = False
+            record = next(tuned_stream, None)
+            if record is not None:
+                result.tuned_gbps.append(record.throughput_gbps)
+                progressed = True
+            dup_record = next(dup_stream, None)
+            if dup_record is not None:
+                result.competing_gbps.append(dup_record.throughput_gbps)
+                progressed = True
+            if not progressed:
+                break
+        run_number += 1
+        if run_number % scale.update_every == 0:
+            current = {
+                fid: device
+                for fid, device in cluster.layout().items()
+                if fid in {f.fid for f in files}
+            }
+            layout = policy.update_layout(
+                db, files, cluster.device_names, current
+            )
+            if layout:
+                cluster.apply_layout(layout, clock.now)
+
+    for _ in range(runs_after):
+        interleaved_tuned_run()
+    return result

@@ -1,0 +1,170 @@
+"""The shared policy-comparison loop (Experiment 1 and 2 machinery).
+
+One call runs one policy on a fresh Bluesky cluster with the same seeded
+workload and interference as every other policy in the comparison:
+
+1. place files per the policy's initial layout;
+2. warm up until the ReplayDB holds the configured access count ("BELLE 2
+   is run until Geomancy's monitoring agents can capture 10000 accesses");
+3. run the measured phase, consulting dynamic policies every
+   ``update_every`` runs and applying their relayouts (movement overhead
+   lands on the shared devices and is therefore part of every measurement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import GeomancyConfig
+from repro.errors import ExperimentError
+from repro.experiments.spec import ExperimentScale, TEST_SCALE
+from repro.policies.base import PlacementPolicy
+from repro.policies.random_policy import RandomDynamicPolicy
+from repro.replaydb.db import ReplayDB
+from repro.replaydb.records import MovementRecord
+from repro.simulation.bluesky import make_bluesky_cluster
+from repro.simulation.cluster import StorageCluster
+from repro.simulation.interference import LoadProcess
+from repro.workloads.belle2 import Belle2Workload
+from repro.workloads.files import FileSpec, belle2_file_population
+from repro.workloads.runner import WorkloadRunner
+
+
+@dataclass
+class PolicyRunResult:
+    """Everything measured while one policy steered the workload."""
+
+    policy_name: str
+    #: per-access throughput (GB/s), measured phase only
+    throughput_gbps: list[float] = field(default_factory=list)
+    #: (access_number, files_moved) for each applied relayout
+    movements: list[tuple[int, int]] = field(default_factory=list)
+    #: per-device usage share (% of accesses), measured phase
+    usage_percent: dict[str, float] = field(default_factory=dict)
+    #: per-device observed mean/std throughput (GB/s), measured phase
+    device_throughput: dict[str, tuple[float, float]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def mean_throughput(self) -> float:
+        if not self.throughput_gbps:
+            raise ExperimentError("no accesses were measured")
+        return float(np.mean(self.throughput_gbps))
+
+    @property
+    def std_throughput(self) -> float:
+        if not self.throughput_gbps:
+            raise ExperimentError("no accesses were measured")
+        return float(np.std(self.throughput_gbps))
+
+    @property
+    def total_files_moved(self) -> int:
+        return sum(count for _, count in self.movements)
+
+    @property
+    def access_count(self) -> int:
+        return len(self.throughput_gbps)
+
+
+def make_experiment_config(
+    scale: ExperimentScale, *, seed: int = 0, **overrides
+) -> GeomancyConfig:
+    """A GeomancyConfig sized for an experiment scale."""
+    params = dict(
+        training_rows=scale.training_rows,
+        epochs=scale.epochs,
+        cooldown_runs=scale.update_every,
+        seed=seed,
+    )
+    params.update(overrides)
+    return GeomancyConfig(**params)
+
+
+def run_policy_experiment(
+    policy: PlacementPolicy,
+    *,
+    scale: ExperimentScale = TEST_SCALE,
+    seed: int = 0,
+    workload_seed: int = 1,
+    extra_interference: dict[str, LoadProcess] | None = None,
+    cluster: StorageCluster | None = None,
+    files: list[FileSpec] | None = None,
+) -> PolicyRunResult:
+    """Measure one policy on the standard setup.
+
+    All stochastic inputs (cluster interference, device noise, workload
+    access stream) derive from ``seed``/``workload_seed``, so two policies
+    run with the same seeds face exactly the same environment.
+    """
+    if cluster is None:
+        cluster = make_bluesky_cluster(
+            seed=seed, extra_interference=extra_interference
+        )
+    if files is None:
+        files = belle2_file_population(seed=seed)
+    workload = Belle2Workload(files, seed=workload_seed)
+    db = ReplayDB()
+    runner = WorkloadRunner(cluster, workload, db)
+
+    # Warm-up phase: telemetry lands in the DB but is not measured.  The
+    # layout is reshuffled every few runs so the warm-up telemetry covers
+    # (file, device) combinations -- the paper's warm-up data for Geomancy
+    # static likewise comes "from the dynamic random experiment".  Every
+    # policy gets the identical warm-up for a fair comparison.
+    shuffler = RandomDynamicPolicy(seed=seed)
+    runner.ensure_files_placed(
+        shuffler.initial_layout(files, cluster.device_names)
+    )
+    warm_runs = 0
+    while db.access_count() < scale.warmup_accesses:
+        runner.run_once()
+        warm_runs += 1
+        if warm_runs % scale.update_every == 0:
+            shuffled = shuffler.update_layout(db, files, cluster.device_names)
+            if shuffled:
+                cluster.apply_layout(shuffled, runner.clock.now)
+
+    # Hand the cluster over to the policy under test.
+    layout = policy.initial_layout(files, cluster.device_names)
+    cluster.apply_layout(layout, runner.clock.now)
+    cluster.reset_stats()
+
+    result = PolicyRunResult(policy_name=policy.name)
+    for run_number in range(1, scale.runs + 1):
+        run = runner.run_once()
+        result.throughput_gbps.extend(
+            r.throughput_gbps for r in run.records
+        )
+        if policy.dynamic and run_number % scale.update_every == 0:
+            current = {
+                fid: device
+                for fid, device in cluster.layout().items()
+                if fid in {f.fid for f in files}
+            }
+            new_layout = policy.update_layout(
+                db, files, cluster.available_device_names, current
+            )
+            if new_layout:
+                moves = cluster.apply_layout(new_layout, runner.clock.now)
+                _record_moves(db, moves)
+                if moves:
+                    result.movements.append(
+                        (result.access_count, len(moves))
+                    )
+    result.usage_percent = cluster.usage_percent()
+    for name in cluster.device_names:
+        stats = cluster.device(name).stats
+        if stats.accesses:
+            result.device_throughput[name] = (
+                stats.mean_throughput_gbps(),
+                stats.std_throughput_gbps(),
+            )
+    return result
+
+
+def _record_moves(db: ReplayDB, moves: list[MovementRecord]) -> None:
+    for move in moves:
+        db.insert_movement(move)

@@ -1,0 +1,110 @@
+"""Cross-seed robustness of the Fig. 5 comparison.
+
+The paper evaluates one live system; our substrate lets the same comparison
+re-run under many random environments.  This experiment repeats Fig. 5a
+across seeds and reports Geomancy's gain over the best dynamic baseline per
+seed plus summary statistics -- the honest error bars EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.experiments.fig5_comparison import GEOMANCY, run_fig5a
+from repro.experiments.reporting import ascii_table
+from repro.experiments.spec import ExperimentScale, TEST_SCALE
+
+
+@dataclass
+class SeedOutcome:
+    """One seed's Fig. 5a summary."""
+
+    seed: int
+    geomancy_gbps: float
+    best_baseline: str
+    best_baseline_gbps: float
+
+    @property
+    def gain_percent(self) -> float:
+        return (
+            (self.geomancy_gbps - self.best_baseline_gbps)
+            / self.best_baseline_gbps
+            * 100.0
+        )
+
+    @property
+    def won(self) -> bool:
+        return self.geomancy_gbps > self.best_baseline_gbps
+
+
+@dataclass
+class RobustnessResult:
+    """Fig. 5a repeated across seeds."""
+
+    outcomes: list[SeedOutcome]
+
+    def __post_init__(self) -> None:
+        if not self.outcomes:
+            raise ExperimentError("no seeds were run")
+
+    @property
+    def win_rate(self) -> float:
+        return sum(o.won for o in self.outcomes) / len(self.outcomes)
+
+    @property
+    def median_gain_percent(self) -> float:
+        return float(np.median([o.gain_percent for o in self.outcomes]))
+
+    @property
+    def gain_range(self) -> tuple[float, float]:
+        gains = [o.gain_percent for o in self.outcomes]
+        return (min(gains), max(gains))
+
+    def to_text(self) -> str:
+        rows = [
+            (
+                o.seed,
+                f"{o.geomancy_gbps:.2f}",
+                f"{o.best_baseline} ({o.best_baseline_gbps:.2f})",
+                f"{o.gain_percent:+.1f}%",
+                "win" if o.won else "loss",
+            )
+            for o in self.outcomes
+        ]
+        table = ascii_table(
+            ["seed", "Geomancy GB/s", "best baseline", "gain", ""],
+            rows,
+            title="Fig. 5a robustness across environment seeds",
+        )
+        lo, hi = self.gain_range
+        return (
+            f"{table}\n"
+            f"win rate {self.win_rate:.0%}, median gain "
+            f"{self.median_gain_percent:+.1f}% (range {lo:+.1f}% .. {hi:+.1f}%)"
+        )
+
+
+def run_robustness(
+    *,
+    seeds: tuple[int, ...] = (0, 1, 2, 3),
+    scale: ExperimentScale = TEST_SCALE,
+) -> RobustnessResult:
+    """Repeat Fig. 5a for each seed."""
+    if not seeds:
+        raise ExperimentError("need at least one seed")
+    outcomes = []
+    for seed in seeds:
+        result = run_fig5a(scale=scale, seed=seed)
+        best = result.best_baseline()
+        outcomes.append(
+            SeedOutcome(
+                seed=seed,
+                geomancy_gbps=result.mean(GEOMANCY),
+                best_baseline=best,
+                best_baseline_gbps=result.mean(best),
+            )
+        )
+    return RobustnessResult(outcomes=outcomes)

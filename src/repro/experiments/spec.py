@@ -1,0 +1,81 @@
+"""Experiment scale presets.
+
+The paper's live experiment spans 9,000-16,000 accesses with Geomancy
+consulted every 5 runs and 12,000-row / 200-epoch trainings.  Simulating
+that inside unit tests would dominate the suite, so each experiment accepts
+an :class:`ExperimentScale`:
+
+* ``TEST_SCALE`` -- seconds: enough signal for shape assertions.
+* ``BENCH_SCALE`` -- the default for the benchmark harness: minutes, close
+  enough to paper scale that every reported trend is measured, not assumed.
+* ``PAPER_SCALE`` -- the paper's actual parameters, for offline runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Sizing for a policy-comparison experiment."""
+
+    name: str
+    #: accesses collected before the measured phase starts
+    warmup_accesses: int
+    #: measured workload runs
+    runs: int
+    #: dynamic policies are consulted every this many runs
+    update_every: int
+    #: engine training window (rows) and epochs
+    training_rows: int
+    epochs: int
+    #: trace length for Fig. 4 / Table II style dataset experiments
+    trace_rows: int
+
+    def __post_init__(self) -> None:
+        if self.warmup_accesses < 1:
+            raise ConfigurationError("warmup_accesses must be >= 1")
+        if self.runs < 1:
+            raise ConfigurationError("runs must be >= 1")
+        if self.update_every < 1:
+            raise ConfigurationError("update_every must be >= 1")
+        if self.training_rows < 10:
+            raise ConfigurationError("training_rows must be >= 10")
+        if self.epochs < 1:
+            raise ConfigurationError("epochs must be >= 1")
+        if self.trace_rows < 100:
+            raise ConfigurationError("trace_rows must be >= 100")
+
+
+TEST_SCALE = ExperimentScale(
+    name="test",
+    warmup_accesses=400,
+    runs=20,
+    update_every=5,
+    training_rows=600,
+    epochs=8,
+    trace_rows=2_000,
+)
+
+BENCH_SCALE = ExperimentScale(
+    name="bench",
+    warmup_accesses=2_500,
+    runs=100,
+    update_every=5,
+    training_rows=4_000,
+    epochs=60,
+    trace_rows=12_000,
+)
+
+PAPER_SCALE = ExperimentScale(
+    name="paper",
+    warmup_accesses=10_000,
+    runs=300,
+    update_every=5,
+    training_rows=12_000,
+    epochs=200,
+    trace_rows=12_000,
+)

@@ -1,0 +1,20 @@
+"""Table I: the 23 candidate model architectures."""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import ascii_table
+from repro.nn.model_zoo import MODEL_NUMBERS, model_summary
+
+
+def table1_rows(z: int = 6) -> list[tuple[int, str]]:
+    """(model number, architecture description) for every Table-I model."""
+    return [(number, model_summary(number, z)) for number in MODEL_NUMBERS]
+
+
+def table1_text(z: int = 6) -> str:
+    rows = [(f"Model {number}", summary) for number, summary in table1_rows(z)]
+    return ascii_table(
+        ["Model number", "Components"],
+        rows,
+        title=f"Table I -- model architectures (Z = {z})",
+    )

@@ -1,0 +1,125 @@
+"""Normalization to [0, 1] (paper section V-E).
+
+"The numerical data is normalized by the Interface Daemon to decimal values
+between zero and one, and the categorical data into numerical parameters in
+the same range."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FeatureError
+
+
+class MinMaxNormalizer:
+    """Per-column min-max scaling to [0, 1] with inverse transform.
+
+    Constant columns map to 0.5 (any constant in [0, 1] would do; the
+    midpoint keeps them away from the ReLU dead zone).  Transforming data
+    outside the fitted range extrapolates linearly, so freshly arriving
+    telemetry slightly beyond historical bounds does not get clipped.
+    """
+
+    def __init__(self) -> None:
+        self._min: np.ndarray | None = None
+        self._range: np.ndarray | None = None
+
+    @property
+    def fitted(self) -> bool:
+        return self._min is not None
+
+    def fit(self, x: np.ndarray) -> "MinMaxNormalizer":
+        x = self._as_matrix(x)
+        if len(x) == 0:
+            raise FeatureError("cannot fit normalizer on empty data")
+        self._min = x.min(axis=0)
+        self._range = x.max(axis=0) - self._min
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        x = self._as_matrix(x)
+        if x.shape[1] != self._min.shape[0]:
+            raise FeatureError(
+                f"fitted on {self._min.shape[0]} columns, got {x.shape[1]}"
+            )
+        out = np.empty_like(x)
+        nonconstant = self._range > 0
+        out[:, nonconstant] = (
+            x[:, nonconstant] - self._min[nonconstant]
+        ) / self._range[nonconstant]
+        out[:, ~nonconstant] = 0.5
+        return out
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        x = self._as_matrix(x)
+        if x.shape[1] != self._min.shape[0]:
+            raise FeatureError(
+                f"fitted on {self._min.shape[0]} columns, got {x.shape[1]}"
+            )
+        out = np.empty_like(x)
+        nonconstant = self._range > 0
+        out[:, nonconstant] = (
+            x[:, nonconstant] * self._range[nonconstant] + self._min[nonconstant]
+        )
+        out[:, ~nonconstant] = self._min[~nonconstant]
+        return out
+
+    @staticmethod
+    def _as_matrix(x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[:, None]
+        if x.ndim != 2:
+            raise FeatureError(f"expected 1-D or 2-D data, got shape {x.shape}")
+        return x
+
+    def _require_fitted(self) -> None:
+        if not self.fitted:
+            raise FeatureError("normalizer used before fit()")
+
+
+class CategoryEncoder:
+    """Maps categorical values to evenly spaced numbers in [0, 1].
+
+    New categories seen after the first ``encode`` extend the mapping; codes
+    of previously seen categories change only in scale (the ordering is
+    stable), which is sufficient for features the paper treats as weakly
+    informative identifiers.
+    """
+
+    def __init__(self) -> None:
+        self._index: dict[str, int] = {}
+
+    def encode(self, value: str) -> float:
+        """Return the [0, 1] code for a category, registering it if new."""
+        if value not in self._index:
+            self._index[value] = len(self._index)
+        # Scale by the current vocabulary size; with one category the code
+        # is 0.0, with n categories codes are k/(n-1) for k in 0..n-1.
+        n = len(self._index)
+        if n == 1:
+            return 0.0
+        return self._index[value] / (n - 1)
+
+    def encode_many(self, values: list[str] | np.ndarray) -> np.ndarray:
+        """Encode a column, registering every category first for stability."""
+        for value in values:
+            if value not in self._index:
+                self._index[value] = len(self._index)
+        n = len(self._index)
+        if n == 1:
+            return np.zeros(len(values))
+        return np.array([self._index[v] / (n - 1) for v in values])
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def categories(self) -> list[str]:
+        """Registered categories in registration order."""
+        return sorted(self._index, key=self._index.get)

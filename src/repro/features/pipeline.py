@@ -1,0 +1,239 @@
+"""From ReplayDB rows to model-ready batches (paper sections V-C and V-E).
+
+The live experiment's feature vector has Z = 6 entries drawn from the
+paper's feature list: bytes read/written, the open timestamp's second and
+millisecond parts, the file id, and the file-system id.  The location
+(fsid) must be an input because the engine predicts throughput *per
+candidate location* by varying only that column ("a batch of data contains
+the information of the data with every row only having the location varying
+between each locations", V-C).
+
+Reproduction note: the paper's bullet list also includes the close
+timestamp (cts/ctms).  Feeding the model both endpoints of the access lets
+it reconstruct the access duration, and since the training target is
+``(rb+wb)/duration`` the network then learns that identity instead of the
+location signal -- per-location probes (where only fsid varies and the
+timestamps are cloned) come out flat and placement degenerates to noise.
+We therefore default to the open timestamp only; ``cts``/``ctms`` remain
+available as optional features for ablation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import FeatureError
+from repro.features.normalize import MinMaxNormalizer
+from repro.features.smoothing import moving_average
+
+if TYPE_CHECKING:  # records imports this package; avoid the import cycle
+    from repro.replaydb.records import AccessRecord
+
+#: The Z = 6 live feature set (see the reproduction note above).
+DEFAULT_LIVE_FEATURES: tuple[str, ...] = (
+    "rb", "wb", "ots", "otms", "fid", "fsid",
+)
+
+#: Column accessors: feature name -> value extractor over an AccessRecord.
+_ACCESSORS: dict[str, Callable[["AccessRecord"], float]] = {
+    "rb": lambda r: float(r.rb),
+    "wb": lambda r: float(r.wb),
+    "ots": lambda r: float(r.ots),
+    "otms": lambda r: float(r.otms),
+    "cts": lambda r: float(r.cts),
+    "ctms": lambda r: float(r.ctms),
+    "open_time": lambda r: r.open_time,
+    "close_time": lambda r: r.close_time,
+    "duration": lambda r: r.duration,
+    "fid": lambda r: float(r.fid),
+    "fsid": lambda r: float(r.fsid),
+    "total_bytes": lambda r: float(r.total_bytes),
+}
+
+
+def record_column(records: "Sequence[AccessRecord]", name: str) -> np.ndarray:
+    """Extract one feature column from a record list.
+
+    Unknown names fall back to each record's ``extra`` dict (EOS-style
+    telemetry like ``rt``/``wt``/``nrc`` lives there).
+    """
+    accessor = _ACCESSORS.get(name)
+    if accessor is not None:
+        return np.array([accessor(r) for r in records], dtype=np.float64)
+    try:
+        return np.array([r.extra[name] for r in records], dtype=np.float64)
+    except KeyError:
+        known = ", ".join(sorted(_ACCESSORS))
+        raise FeatureError(
+            f"feature {name!r} is neither a built-in column ({known}) nor "
+            "present in every record's extra telemetry"
+        ) from None
+
+
+class FeaturePipeline:
+    """Stateful feature/target preparation shared by training and probing.
+
+    ``fit`` learns normalization bounds; ``transform_features`` /
+    ``transform_target`` map raw telemetry into [0, 1];
+    ``inverse_transform_target`` maps model outputs back to bytes/s so
+    predictions at different locations can be compared in physical units.
+    """
+
+    def __init__(
+        self,
+        features: Sequence[str] = DEFAULT_LIVE_FEATURES,
+        *,
+        smoothing_window: int = 10,
+        target: str = "throughput",
+    ) -> None:
+        if not features:
+            raise FeatureError("need at least one feature")
+        if smoothing_window < 1:
+            raise FeatureError(
+                f"smoothing_window must be >= 1, got {smoothing_window}"
+            )
+        if target not in ("throughput", "latency"):
+            raise FeatureError(
+                f"target must be 'throughput' or 'latency', got {target!r}"
+            )
+        self.features = tuple(features)
+        self.smoothing_window = int(smoothing_window)
+        self.target = target
+        self._x_norm = MinMaxNormalizer()
+        self._y_norm = MinMaxNormalizer()
+
+    @property
+    def z(self) -> int:
+        """The paper's Z: number of input features."""
+        return len(self.features)
+
+    @property
+    def fitted(self) -> bool:
+        return self._x_norm.fitted and self._y_norm.fitted
+
+    # -- raw extraction ----------------------------------------------------
+    def feature_matrix(self, records: "Sequence[AccessRecord]") -> np.ndarray:
+        """Raw (unnormalized) feature matrix, one row per record."""
+        if not records:
+            raise FeatureError("no records supplied")
+        return np.column_stack(
+            [record_column(records, name) for name in self.features]
+        )
+
+    def target_vector(self, records: "Sequence[AccessRecord]") -> np.ndarray:
+        """Raw throughput targets in bytes/s, smoothed with a moving average.
+
+        The paper smooths ReplayDB data "to mitigate outliers" before
+        training (section V-E), and batches telemetry per storage device
+        ("each batch contains performance information for the data over
+        all available storage devices").  Smoothing is therefore applied
+        *within* each device's subsequence: averaging across the
+        interleaved multi-device stream would blend fast and slow mounts
+        into one target level and erase the location signal the engine
+        ranks candidate placements by.
+        """
+        if not records:
+            raise FeatureError("no records supplied")
+        if self.target == "throughput":
+            values = np.array(
+                [r.throughput for r in records], dtype=np.float64
+            )
+        else:
+            # Latency target (paper V-C: "there exist workloads that are
+            # more latency sensitive, we will explore modeling latency of
+            # the system in the future"): the per-access duration.
+            values = np.array(
+                [r.duration for r in records], dtype=np.float64
+            )
+        if self.smoothing_window == 1:
+            return values
+        fsids = np.array([r.fsid for r in records])
+        out = np.empty_like(values)
+        for fsid in np.unique(fsids):
+            idx = np.flatnonzero(fsids == fsid)
+            out[idx] = moving_average(values[idx], self.smoothing_window)
+        return out
+
+    # -- normalization -----------------------------------------------------
+    def fit(self, records: "Sequence[AccessRecord]") -> "FeaturePipeline":
+        self._x_norm.fit(self.feature_matrix(records))
+        self._y_norm.fit(self.target_vector(records))
+        return self
+
+    def transform_features(self, records: "Sequence[AccessRecord]") -> np.ndarray:
+        self._require_fitted()
+        return self._x_norm.transform(self.feature_matrix(records))
+
+    def transform_target(self, records: "Sequence[AccessRecord]") -> np.ndarray:
+        self._require_fitted()
+        return self._y_norm.transform(self.target_vector(records)).ravel()
+
+    def inverse_transform_target(self, y: np.ndarray) -> np.ndarray:
+        """Map normalized model outputs back to bytes/s."""
+        self._require_fitted()
+        return self._y_norm.inverse_transform(np.asarray(y)).ravel()
+
+    def build_training_set(
+        self, records: "Sequence[AccessRecord]"
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fit on ``records`` and return normalized ``(X, y)``."""
+        self.fit(records)
+        return self.transform_features(records), self.transform_target(records)
+
+    # -- per-location probe batches ------------------------------------------
+    def build_location_probe(
+        self, base: "AccessRecord", fsids: Sequence[int]
+    ) -> np.ndarray:
+        """One normalized row per candidate location.
+
+        Every row replicates ``base``'s features with only the ``fsid``
+        column varying -- including the file's current location so "the
+        possibility that moving the data will not improve the performance"
+        is always on the menu (section V-C).
+        """
+        self._require_fitted()
+        if not fsids:
+            raise FeatureError("no candidate locations supplied")
+        if "fsid" not in self.features:
+            raise FeatureError(
+                "per-location probing varies the 'fsid' column (paper "
+                "section V-C); include it in the feature set"
+            )
+        raw = self.feature_matrix([base])
+        probe = np.repeat(raw, len(fsids), axis=0)
+        fsid_col = self.features.index("fsid")
+        probe[:, fsid_col] = np.asarray(fsids, dtype=np.float64)
+        return self._x_norm.transform(probe)
+
+    def _require_fitted(self) -> None:
+        if not self.fitted:
+            raise FeatureError("pipeline used before fit()")
+
+
+def make_windows(
+    x: np.ndarray, y: np.ndarray, timesteps: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sliding windows for the recurrent Table-I models.
+
+    Window ``i`` covers rows ``i .. i+timesteps-1`` and is labelled with the
+    target of its final row, so the model predicts the present from the
+    recent past.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if timesteps < 1:
+        raise FeatureError(f"timesteps must be >= 1, got {timesteps}")
+    if x.ndim != 2:
+        raise FeatureError(f"x must be 2-D, got shape {x.shape}")
+    if len(x) != len(y):
+        raise FeatureError(f"x has {len(x)} rows but y has {len(y)}")
+    if len(x) < timesteps:
+        raise FeatureError(
+            f"need at least timesteps={timesteps} rows, got {len(x)}"
+        )
+    n = len(x) - timesteps + 1
+    windows = np.stack([x[i : i + timesteps] for i in range(n)])
+    return windows, y[timesteps - 1 :]

@@ -1,0 +1,64 @@
+"""Smoothing of noisy telemetry (paper section V-E).
+
+"We remove smaller variations from data in the ReplayDB by applying a moving
+average. ... Other smoothing methods such as cumulative average can be used,
+however they lose short term fluctuations that can indicate a rapid decrease
+in performance."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FeatureError
+
+
+def moving_average(x: np.ndarray, window: int) -> np.ndarray:
+    """Trailing moving average, length-preserving.
+
+    Element ``i`` is the mean of ``x[max(0, i-window+1) .. i]``, so early
+    elements average over a shorter prefix instead of being dropped -- the
+    pipeline needs output aligned 1:1 with its input rows.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    if window < 1:
+        raise FeatureError(f"window must be >= 1, got {window}")
+    if x.size == 0:
+        return x.copy()
+    if window == 1:
+        return x.copy()
+    csum = np.cumsum(x)
+    out = np.empty_like(x)
+    w = min(window, x.size)
+    # Full windows.
+    out[w - 1 :] = (csum[w - 1 :] - np.concatenate(([0.0], csum[: x.size - w]))) / w
+    # Growing prefix windows.
+    out[: w - 1] = csum[: w - 1] / np.arange(1, w)
+    return out
+
+
+def cumulative_average(x: np.ndarray) -> np.ndarray:
+    """Running mean of everything seen so far (loses short-term swings)."""
+    x = np.asarray(x, dtype=np.float64).ravel()
+    if x.size == 0:
+        return x.copy()
+    return np.cumsum(x) / np.arange(1, x.size + 1)
+
+
+def exponential_moving_average(x: np.ndarray, alpha: float) -> np.ndarray:
+    """EMA with smoothing factor ``alpha`` in (0, 1].
+
+    Included as the heuristic the paper contrasts neural networks against
+    ("heuristics such as exponentially moving average ... need human input
+    to update", section VI).
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    if not 0.0 < alpha <= 1.0:
+        raise FeatureError(f"alpha must be in (0, 1], got {alpha}")
+    if x.size == 0:
+        return x.copy()
+    out = np.empty_like(x)
+    out[0] = x[0]
+    for i in range(1, x.size):
+        out[i] = alpha * x[i] + (1.0 - alpha) * out[i - 1]
+    return out

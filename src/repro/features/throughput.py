@@ -1,0 +1,51 @@
+"""The paper's per-access throughput formula (section V-C).
+
+::
+
+    Tp_i = (rb_i + wb_i) / ((cts_i + ctms_i/1000) - (ots_i + otms_i/1000))
+
+Bytes in, seconds out; callers convert to GB/s for reporting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FeatureError
+
+BYTES_PER_GB = 1e9
+
+
+def access_throughput(
+    rb: float | np.ndarray,
+    wb: float | np.ndarray,
+    ots: float | np.ndarray,
+    otms: float | np.ndarray,
+    cts: float | np.ndarray,
+    ctms: float | np.ndarray,
+) -> float | np.ndarray:
+    """Throughput of an access in bytes/second.
+
+    Accepts scalars or equal-shaped arrays.  Raises
+    :class:`~repro.errors.FeatureError` if any access has a non-positive
+    duration (a closed-before-opened record is corrupt telemetry).
+    """
+    open_time = np.asarray(ots, dtype=np.float64) + np.asarray(otms, dtype=np.float64) / 1000.0
+    close_time = np.asarray(cts, dtype=np.float64) + np.asarray(ctms, dtype=np.float64) / 1000.0
+    duration = close_time - open_time
+    if np.any(duration <= 0.0):
+        raise FeatureError(
+            "non-positive access duration: close timestamp must be strictly "
+            "after open timestamp"
+        )
+    result = (np.asarray(rb, dtype=np.float64) + np.asarray(wb, dtype=np.float64)) / duration
+    if result.ndim == 0:
+        return float(result)
+    return result
+
+
+def throughput_gbps(
+    rb, wb, ots, otms, cts, ctms
+) -> float | np.ndarray:
+    """Same as :func:`access_throughput` but in GB/s (the paper's unit)."""
+    return access_throughput(rb, wb, ots, otms, cts, ctms) / BYTES_PER_GB

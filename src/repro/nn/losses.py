@@ -1,0 +1,74 @@
+"""Loss functions with analytic gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError, ShapeError
+
+
+def _check_shapes(y_pred: np.ndarray, y_true: np.ndarray) -> None:
+    if y_pred.shape != y_true.shape:
+        raise ShapeError(
+            f"prediction shape {y_pred.shape} != target shape {y_true.shape}"
+        )
+
+
+class Loss:
+    """Base class: value + gradient w.r.t. predictions."""
+
+    name = "loss"
+
+    def value(self, y_pred: np.ndarray, y_true: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def gradient(self, y_pred: np.ndarray, y_true: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class MeanSquaredError(Loss):
+    """0.5-free MSE: ``mean((pred - true)**2)``; grad is ``2*(pred-true)/N``."""
+
+    name = "mse"
+
+    def value(self, y_pred: np.ndarray, y_true: np.ndarray) -> float:
+        _check_shapes(y_pred, y_true)
+        # Divergence (overflow to inf) is a reportable outcome, not a bug:
+        # Table II marks diverged models explicitly.
+        with np.errstate(over="ignore", invalid="ignore"):
+            return float(np.mean((y_pred - y_true) ** 2))
+
+    def gradient(self, y_pred: np.ndarray, y_true: np.ndarray) -> np.ndarray:
+        _check_shapes(y_pred, y_true)
+        return 2.0 * (y_pred - y_true) / y_pred.size
+
+
+class MeanAbsoluteError(Loss):
+    """MAE: ``mean(|pred - true|)``; subgradient sign at zero is 0."""
+
+    name = "mae"
+
+    def value(self, y_pred: np.ndarray, y_true: np.ndarray) -> float:
+        _check_shapes(y_pred, y_true)
+        return float(np.mean(np.abs(y_pred - y_true)))
+
+    def gradient(self, y_pred: np.ndarray, y_true: np.ndarray) -> np.ndarray:
+        _check_shapes(y_pred, y_true)
+        return np.sign(y_pred - y_true) / y_pred.size
+
+
+_REGISTRY: dict[str, type[Loss]] = {
+    MeanSquaredError.name: MeanSquaredError,
+    MeanAbsoluteError.name: MeanAbsoluteError,
+}
+
+
+def get_loss(name: str | Loss) -> Loss:
+    """Resolve a loss by name (``"mse"``, ``"mae"``)."""
+    if isinstance(name, Loss):
+        return name
+    try:
+        return _REGISTRY[name.lower()]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ModelError(f"unknown loss {name!r}; known: {known}") from None

@@ -1,0 +1,94 @@
+"""Evaluation metrics used by the paper's model comparison (Table II/III).
+
+The paper scores models by the *mean and standard deviation of the absolute
+relative error* between predicted and target throughput, and marks a model
+"Diverged" when it "completely failed to capture the mean and variation of
+the target value[,] usually resulting in the same prediction happening over
+and over again."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+#: guard against division by ~0 targets when computing relative error
+_EPS = 1e-12
+
+
+def absolute_relative_error(
+    y_pred: np.ndarray, y_true: np.ndarray
+) -> np.ndarray:
+    """Elementwise ``|pred - true| / |true|`` (as a fraction, not percent)."""
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    y_true = np.asarray(y_true, dtype=np.float64)
+    if y_pred.shape != y_true.shape:
+        raise ShapeError(
+            f"prediction shape {y_pred.shape} != target shape {y_true.shape}"
+        )
+    return np.abs(y_pred - y_true) / np.maximum(np.abs(y_true), _EPS)
+
+
+def mean_absolute_relative_error(
+    y_pred: np.ndarray, y_true: np.ndarray
+) -> tuple[float, float]:
+    """Mean and standard deviation of the absolute relative error, in percent.
+
+    Returns the ``(mean, std)`` pair reported in Tables II and III.
+    """
+    are = absolute_relative_error(y_pred, y_true)
+    return float(np.mean(are) * 100.0), float(np.std(are) * 100.0)
+
+
+def signed_relative_error(y_pred: np.ndarray, y_true: np.ndarray) -> float:
+    """Mean signed relative error ``(true - pred) / |true|``.
+
+    Positive means the model under-predicts on average; the paper uses this
+    sign to decide whether the MAE adjustment should be added or subtracted
+    (section V-G).
+    """
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    y_true = np.asarray(y_true, dtype=np.float64)
+    if y_pred.shape != y_true.shape:
+        raise ShapeError(
+            f"prediction shape {y_pred.shape} != target shape {y_true.shape}"
+        )
+    return float(
+        np.mean((y_true - y_pred) / np.maximum(np.abs(y_true), _EPS))
+    )
+
+
+def is_diverged(
+    y_pred: np.ndarray,
+    y_true: np.ndarray,
+    *,
+    variance_ratio_threshold: float = 1e-3,
+) -> bool:
+    """Whether a model's predictions are useless in the paper's sense.
+
+    A model is considered diverged if its predictions contain non-finite
+    values, or if they are (nearly) constant while the targets are not --
+    i.e. the ratio of prediction variance to target variance falls below
+    ``variance_ratio_threshold``.
+    """
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    y_true = np.asarray(y_true, dtype=np.float64)
+    if not np.all(np.isfinite(y_pred)):
+        return True
+    target_var = float(np.var(y_true))
+    if target_var <= _EPS:
+        # Constant targets: any finite prediction is as good as any other.
+        return False
+    pred_var = float(np.var(y_pred))
+    return (pred_var / target_var) < variance_ratio_threshold
+
+
+def prediction_accuracy_percent(y_pred: np.ndarray, y_true: np.ndarray) -> float:
+    """The paper's "accuracy": ``100 - mean absolute relative error``.
+
+    Table III reads errors this way, e.g. "no worse than 56.85% prediction
+    accuracy ... with an average accuracy of about 81.12%".  Clamped at 0.
+    """
+    mare, _ = mean_absolute_relative_error(y_pred, y_true)
+    return max(0.0, 100.0 - mare)

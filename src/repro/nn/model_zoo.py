@@ -1,0 +1,148 @@
+"""The 23 candidate architectures of Table I.
+
+Each architecture is described as a sequence of :class:`LayerSpec` entries
+whose widths are multiples of ``Z``, the number of input performance metrics
+(Z=6 for the Bluesky/BELLE II experiment, Z=13 for the CERN EOS trace).  The
+paper's notation "16Z (Dense) ReLU" becomes ``LayerSpec("dense", 16, "relu")``.
+
+Two rows of the published table are ambiguous in the scanned copy (models 8
+and 10 share their printed row text with models 9 and 11); we resolve them
+as the 4-deep and 2-deep variants so each model is distinct, matching the
+training-time ordering of Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.nn.layers import Dense, Layer
+from repro.nn.network import Sequential
+from repro.nn.recurrent import GRU, LSTM, SimpleRNN
+
+_LAYER_KINDS: dict[str, type[Layer]] = {
+    "dense": Dense,
+    "lstm": LSTM,
+    "gru": GRU,
+    "simplernn": SimpleRNN,
+}
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One row of a Table-I architecture description.
+
+    ``width`` is a multiplier on Z; ``width=None`` means the literal
+    1-neuron output head.
+    """
+
+    kind: str
+    width: int | None
+    activation: str
+
+    def units(self, z: int) -> int:
+        return 1 if self.width is None else self.width * z
+
+    def describe(self, z: int) -> str:
+        kind_name = {
+            "dense": "Dense",
+            "lstm": "LSTM",
+            "gru": "GRU",
+            "simplernn": "SimpleRNN",
+        }[self.kind]
+        return f"{self.units(z)} ({kind_name}) {self.activation.capitalize()}"
+
+    def build(self, z: int) -> Layer:
+        try:
+            cls = _LAYER_KINDS[self.kind]
+        except KeyError:
+            raise ModelError(f"unknown layer kind {self.kind!r}") from None
+        return cls(self.units(z), activation=self.activation)
+
+
+def _d(width: int | None, act: str = "relu") -> LayerSpec:
+    return LayerSpec("dense", width, act)
+
+
+def _r(kind: str, width: int = 1, act: str = "relu") -> LayerSpec:
+    return LayerSpec(kind, width, act)
+
+
+#: Table I, keyed by model number.
+ARCHITECTURES: dict[int, tuple[LayerSpec, ...]] = {
+    1: (_d(16), _d(8), _d(4), _d(None, "linear")),
+    2: (_d(16), _d(8), _d(None, "relu")),
+    3: (_d(16), _d(8), _d(4), _d(None, "relu")),
+    4: (_d(16), _d(8), _d(None, "linear")),
+    5: (
+        _d(16, "linear"),
+        _d(8, "linear"),
+        _d(4, "linear"),
+        _d(1, "linear"),
+        _d(None, "relu"),
+    ),
+    6: (_d(16), _d(16), _d(16), _d(16), _d(None, "relu")),
+    7: (_d(16), _d(16), _d(16), _d(16), _d(16), _d(None, "relu")),
+    8: (_d(1), _d(1), _d(1), _d(1), _d(None, "relu")),
+    9: (_d(1), _d(1), _d(1), _d(1), _d(1), _d(None, "relu")),
+    10: (_d(1), _d(1), _d(None, "linear")),
+    11: (_d(1), _d(None, "linear")),
+    12: (_r("lstm"), _d(None, "linear")),
+    13: (_r("gru"), _d(None, "linear")),
+    14: (_r("simplernn"), _d(None, "linear")),
+    15: (_r("gru"), _d(1), _d(None, "linear")),
+    16: (_r("gru"), _d(1), _d(1), _d(None, "linear")),
+    17: (_r("gru"), _d(4), _d(1), _d(None, "linear")),
+    18: (_r("simplernn"), _d(4), _d(1), _d(None, "linear")),
+    19: (_r("simplernn"), _d(1), _d(1), _d(1), _d(None, "linear")),
+    20: (_r("simplernn"), _d(1), _d(None, "linear")),
+    21: (_r("lstm"), _d(1), _d(None, "linear")),
+    22: (_r("lstm"), _d(1), _d(1), _d(None, "linear")),
+    23: (_r("lstm"), _d(4), _d(1), _d(None, "linear")),
+}
+
+#: All valid Table-I model numbers, ascending.
+MODEL_NUMBERS: tuple[int, ...] = tuple(sorted(ARCHITECTURES))
+
+#: The architecture the paper selects for the live system (section V-G).
+SELECTED_MODEL = 1
+
+#: Models the paper reports as diverged in Table II.
+PAPER_DIVERGED_MODELS = (2, 5)
+
+
+def build_model(
+    model_number: int, z: int, *, seed: int | None = None
+) -> Sequential:
+    """Instantiate Table-I model ``model_number`` for ``z`` input features."""
+    try:
+        specs = ARCHITECTURES[model_number]
+    except KeyError:
+        raise ModelError(
+            f"unknown model number {model_number}; valid: 1..23"
+        ) from None
+    if z <= 0:
+        raise ModelError(f"z (feature count) must be positive, got {z}")
+    return Sequential([spec.build(z) for spec in specs], seed=seed)
+
+
+def is_recurrent(model_number: int) -> bool:
+    """Whether the architecture starts with a recurrent layer."""
+    try:
+        specs = ARCHITECTURES[model_number]
+    except KeyError:
+        raise ModelError(
+            f"unknown model number {model_number}; valid: 1..23"
+        ) from None
+    return specs[0].kind != "dense"
+
+
+def model_summary(model_number: int, z: int) -> str:
+    """Human-readable architecture string in the paper's Table-I format."""
+    try:
+        specs = ARCHITECTURES[model_number]
+    except KeyError:
+        raise ModelError(
+            f"unknown model number {model_number}; valid: 1..23"
+        ) from None
+    return ", ".join(spec.describe(z) for spec in specs)

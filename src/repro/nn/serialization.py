@@ -1,0 +1,60 @@
+"""Weight persistence for :class:`~repro.nn.network.Sequential` models.
+
+The Geomancy engine retrains frequently but the facade supports
+checkpointing between runs; weights are stored as a flat ``.npz`` keyed
+``layer{i}/{param}``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.network import Sequential
+
+
+def save_weights(model: Sequential, path: str | os.PathLike) -> None:
+    """Write all layer parameters of a built model to ``path`` (npz)."""
+    if not model.built:
+        raise ModelError("cannot save an unbuilt model; call build() or fit() first")
+    arrays = {
+        f"layer{i}/{name}": param
+        for i, layer in enumerate(model.layers)
+        for name, param in layer.params.items()
+    }
+    np.savez(path, **arrays)
+
+
+def load_weights(model: Sequential, path: str | os.PathLike) -> None:
+    """Load parameters saved by :func:`save_weights` into a built model.
+
+    The model must already be built with the same architecture; shapes are
+    checked parameter-by-parameter.
+    """
+    if not model.built:
+        raise ModelError("build the model (with the right input_dim) before loading")
+    with np.load(path) as data:
+        expected = {
+            f"layer{i}/{name}"
+            for i, layer in enumerate(model.layers)
+            for name in layer.params
+        }
+        stored = set(data.files)
+        if expected != stored:
+            missing = expected - stored
+            extra = stored - expected
+            raise ModelError(
+                f"weight file does not match architecture "
+                f"(missing={sorted(missing)}, unexpected={sorted(extra)})"
+            )
+        for i, layer in enumerate(model.layers):
+            for name in layer.params:
+                arr = data[f"layer{i}/{name}"]
+                if arr.shape != layer.params[name].shape:
+                    raise ModelError(
+                        f"layer{i}/{name}: stored shape {arr.shape} != "
+                        f"model shape {layer.params[name].shape}"
+                    )
+                layer.params[name] = arr.astype(np.float64)

@@ -1,0 +1,97 @@
+"""The placement-policy interface and shared helpers."""
+
+from __future__ import annotations
+
+from repro.errors import PolicyError
+from repro.replaydb.db import ReplayDB
+from repro.workloads.files import FileSpec
+
+
+class PlacementPolicy:
+    """Decides where the workload's files live.
+
+    ``initial_layout`` places files before the experiment starts;
+    ``update_layout`` is consulted between workload runs and returns either
+    a (possibly partial) fid -> device mapping to apply, or ``None`` to
+    leave the layout alone.  Static policies simply always return ``None``.
+    """
+
+    name = "policy"
+
+    #: whether the experiment harness should consult update_layout at all
+    dynamic = False
+
+    def initial_layout(
+        self, files: list[FileSpec], devices: list[str]
+    ) -> dict[int, str]:
+        raise NotImplementedError
+
+    def update_layout(
+        self,
+        db: ReplayDB,
+        files: list[FileSpec],
+        devices: list[str],
+        current: dict[int, str] | None = None,
+    ) -> dict[int, str] | None:
+        """Relayout decision between runs.
+
+        ``current`` is the present fid -> device mapping; policies that
+        diff against it (Geomancy's move cap) use it, the heuristics
+        recompute the full grouping and ignore it.
+        """
+        return None
+
+    @staticmethod
+    def _require(files: list[FileSpec], devices: list[str]) -> None:
+        if not files:
+            raise PolicyError("no files to place")
+        if not devices:
+            raise PolicyError("no devices to place files on")
+
+
+def rank_devices(db: ReplayDB, devices: list[str]) -> list[str]:
+    """Devices ordered fastest-first by observed mean throughput.
+
+    Devices with no telemetry yet rank after every measured device (the
+    policies all start from ~10,000 warm-up accesses, so in practice every
+    device is measured; unseen ones get the conservative slot).
+    """
+    if not devices:
+        raise PolicyError("no devices to rank")
+    measured = [
+        name for name, _ in db.device_throughput_ranking() if name in devices
+    ]
+    unseen = [name for name in devices if name not in measured]
+    return measured + unseen
+
+
+def spread_in_groups(
+    ordered_files: list[int], ranked_devices: list[str]
+) -> dict[int, str]:
+    """Assign equal groups of files to devices in rank order (section VI).
+
+    "all 24 files ... are divided evenly across the available six storage
+    devices in groups of four.  The group containing the most recently
+    accessed files is placed into the fastest storage device, ... In case a
+    file was not used or the files cannot be evenly divided, the remaining
+    files are put on the slowest node."
+    """
+    if not ordered_files:
+        raise PolicyError("no files to spread")
+    if not ranked_devices:
+        raise PolicyError("no devices to spread over")
+    group_size = len(ordered_files) // len(ranked_devices)
+    layout: dict[int, str] = {}
+    if group_size == 0:
+        # Fewer files than devices: one file per fastest device.
+        for fid, device in zip(ordered_files, ranked_devices):
+            layout[fid] = device
+        return layout
+    for rank, device in enumerate(ranked_devices):
+        group = ordered_files[rank * group_size : (rank + 1) * group_size]
+        for fid in group:
+            layout[fid] = device
+    # Remainder files go to the slowest device.
+    for fid in ordered_files[len(ranked_devices) * group_size :]:
+        layout[fid] = ranked_devices[-1]
+    return layout

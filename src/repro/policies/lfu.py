@@ -1,0 +1,42 @@
+"""LFU baseline (paper section VI).
+
+"The LFU policy ... places heavily accessed files on fast nodes and lower
+accessed files on slower nodes. ... we sort the files from most to least
+accessed, and the sorted files are divided equally into groups."
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import PlacementPolicy, rank_devices, spread_in_groups
+from repro.replaydb.db import ReplayDB
+from repro.workloads.files import FileSpec
+
+
+class LFUPolicy(PlacementPolicy):
+    """Most frequently accessed files on the fastest devices."""
+
+    name = "LFU"
+    dynamic = True
+
+    def initial_layout(
+        self, files: list[FileSpec], devices: list[str]
+    ) -> dict[int, str]:
+        self._require(files, devices)
+        return spread_in_groups([f.fid for f in files], list(devices))
+
+    def update_layout(
+        self,
+        db: ReplayDB,
+        files: list[FileSpec],
+        devices: list[str],
+        current: dict[int, str] | None = None,
+    ) -> dict[int, str] | None:
+        self._require(files, devices)
+        ranked = rank_devices(db, devices)
+        counts = db.access_count_per_file()
+        ordered = sorted(
+            (f.fid for f in files),
+            key=lambda fid: counts.get(fid, 0),
+            reverse=True,
+        )
+        return spread_in_groups(ordered, ranked)

@@ -1,0 +1,46 @@
+"""LRU baseline (paper section VI).
+
+"The effect of a LRU policy causes the least recently used files to move to
+the slowest storage device, and the most recently used files move to the
+fastest storage devices available."
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import PlacementPolicy, rank_devices, spread_in_groups
+from repro.replaydb.db import ReplayDB
+from repro.workloads.files import FileSpec
+
+
+class LRUPolicy(PlacementPolicy):
+    """Most recently used files on the fastest devices."""
+
+    name = "LRU"
+    dynamic = True
+
+    def initial_layout(
+        self, files: list[FileSpec], devices: list[str]
+    ) -> dict[int, str]:
+        self._require(files, devices)
+        # No telemetry yet: spread evenly in fid order.
+        return spread_in_groups([f.fid for f in files], list(devices))
+
+    def update_layout(
+        self,
+        db: ReplayDB,
+        files: list[FileSpec],
+        devices: list[str],
+        current: dict[int, str] | None = None,
+    ) -> dict[int, str] | None:
+        self._require(files, devices)
+        ranked = rank_devices(db, devices)
+        last_access = db.last_access_time_per_file()
+        # Most recent first; never-accessed files sort last (toward the
+        # slowest device, per "In case a file was not used ... the
+        # remaining files are put on the slowest node").
+        ordered = sorted(
+            (f.fid for f in files),
+            key=lambda fid: last_access.get(fid, float("-inf")),
+            reverse=True,
+        )
+        return spread_in_groups(ordered, ranked)

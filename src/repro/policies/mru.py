@@ -1,0 +1,45 @@
+"""MRU baseline (paper section VI).
+
+"The Most Recently Used (MRU) algorithm, as described by Chou et al.,
+places the most recently used files on the slowest storage devices.  This
+algorithm has benefits for files that are scanned in a looping sequential
+access pattern" -- because the file just read is the one that will not be
+needed again until the loop comes back around.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import PlacementPolicy, rank_devices, spread_in_groups
+from repro.replaydb.db import ReplayDB
+from repro.workloads.files import FileSpec
+
+
+class MRUPolicy(PlacementPolicy):
+    """Most recently used files on the *slowest* devices."""
+
+    name = "MRU"
+    dynamic = True
+
+    def initial_layout(
+        self, files: list[FileSpec], devices: list[str]
+    ) -> dict[int, str]:
+        self._require(files, devices)
+        return spread_in_groups([f.fid for f in files], list(devices))
+
+    def update_layout(
+        self,
+        db: ReplayDB,
+        files: list[FileSpec],
+        devices: list[str],
+        current: dict[int, str] | None = None,
+    ) -> dict[int, str] | None:
+        self._require(files, devices)
+        ranked = rank_devices(db, devices)
+        last_access = db.last_access_time_per_file()
+        # Least recent first, so the most recently used files land on the
+        # slowest devices at the end of the ranking.
+        ordered = sorted(
+            (f.fid for f in files),
+            key=lambda fid: last_access.get(fid, float("-inf")),
+        )
+        return spread_in_groups(ordered, ranked)

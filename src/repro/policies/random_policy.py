@@ -1,0 +1,64 @@
+"""Random baselines (paper section VI).
+
+"In random static, we randomly shuffle the locations of every file requested
+by the workload.  The files are never moved again ... random dynamic ...
+shuffles the locations of the data between several runs of the workload."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.policies.base import PlacementPolicy
+from repro.replaydb.db import ReplayDB
+from repro.workloads.files import FileSpec
+
+
+def _random_layout(
+    rng: np.random.Generator, files: list[FileSpec], devices: list[str]
+) -> dict[int, str]:
+    """Independently assign each file to a uniformly random device."""
+    choices = rng.integers(0, len(devices), size=len(files))
+    return {f.fid: devices[int(c)] for f, c in zip(files, choices)}
+
+
+class RandomStaticPolicy(PlacementPolicy):
+    """One random shuffle at the start, never moved again."""
+
+    name = "random static"
+    dynamic = False
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def initial_layout(
+        self, files: list[FileSpec], devices: list[str]
+    ) -> dict[int, str]:
+        self._require(files, devices)
+        return _random_layout(self._rng, files, list(devices))
+
+
+class RandomDynamicPolicy(PlacementPolicy):
+    """Reshuffles the whole layout every time it is consulted."""
+
+    name = "random dynamic"
+    dynamic = True
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def initial_layout(
+        self, files: list[FileSpec], devices: list[str]
+    ) -> dict[int, str]:
+        self._require(files, devices)
+        return _random_layout(self._rng, files, list(devices))
+
+    def update_layout(
+        self,
+        db: ReplayDB,
+        files: list[FileSpec],
+        devices: list[str],
+        current: dict[int, str] | None = None,
+    ) -> dict[int, str] | None:
+        self._require(files, devices)
+        return _random_layout(self._rng, files, list(devices))

@@ -1,0 +1,107 @@
+"""Record types stored in the ReplayDB."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReplayDBError
+from repro.features.throughput import BYTES_PER_GB, access_throughput
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One file interaction, open to close (the EOS access-log granularity).
+
+    Field names follow the paper: ``rb``/``wb`` bytes read/written,
+    ``ots``/``otms`` the open timestamp's second/millisecond parts,
+    ``cts``/``ctms`` the close timestamp's, ``fid`` the file id and
+    ``fsid`` the storage-device id.  ``device`` and ``path`` carry the
+    human-readable location for monitoring output.
+    """
+
+    fid: int
+    fsid: int
+    device: str
+    path: str
+    rb: int
+    wb: int
+    ots: int
+    otms: int
+    cts: int
+    ctms: int
+    #: extra telemetry (rt, wt, nrc, ... for EOS-style records)
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.rb < 0 or self.wb < 0:
+            raise ReplayDBError(
+                f"byte counts must be non-negative (rb={self.rb}, wb={self.wb})"
+            )
+        if not 0 <= self.otms < 1000 or not 0 <= self.ctms < 1000:
+            raise ReplayDBError(
+                f"millisecond parts must be in [0, 1000): "
+                f"otms={self.otms}, ctms={self.ctms}"
+            )
+        if self.close_time <= self.open_time:
+            raise ReplayDBError(
+                f"close time {self.close_time} must be after open time "
+                f"{self.open_time}"
+            )
+
+    @property
+    def open_time(self) -> float:
+        """Open timestamp in fractional seconds."""
+        return self.ots + self.otms / 1000.0
+
+    @property
+    def close_time(self) -> float:
+        """Close timestamp in fractional seconds."""
+        return self.cts + self.ctms / 1000.0
+
+    @property
+    def duration(self) -> float:
+        """Access duration in seconds."""
+        return self.close_time - self.open_time
+
+    @property
+    def total_bytes(self) -> int:
+        return self.rb + self.wb
+
+    @property
+    def throughput(self) -> float:
+        """Throughput of this access in bytes/second (paper's Tp_i)."""
+        return float(
+            access_throughput(self.rb, self.wb, self.ots, self.otms,
+                              self.cts, self.ctms)
+        )
+
+    @property
+    def throughput_gbps(self) -> float:
+        """Throughput in GB/s, the unit of Fig. 5 and Table IV."""
+        return self.throughput / BYTES_PER_GB
+
+
+@dataclass(frozen=True)
+class MovementRecord:
+    """One file migration commanded by Geomancy (or a baseline policy)."""
+
+    timestamp: float
+    fid: int
+    src_device: str
+    dst_device: str
+    bytes_moved: int
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.bytes_moved < 0:
+            raise ReplayDBError(
+                f"bytes_moved must be non-negative, got {self.bytes_moved}"
+            )
+        if self.duration < 0:
+            raise ReplayDBError(
+                f"duration must be non-negative, got {self.duration}"
+            )
+        if self.src_device == self.dst_device:
+            raise ReplayDBError(
+                f"movement must change device (src == dst == {self.src_device!r})"
+            )

@@ -1,0 +1,59 @@
+"""Simulated time.
+
+Telemetry records carry timestamps split into second and millisecond parts
+(``ots``/``otms``, ``cts``/``ctms``), matching the EOS access-log schema and
+the paper's Tp formula, so the clock provides that split directly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+def timestamp_parts(t: float) -> tuple[int, int]:
+    """Split fractional seconds into ``(seconds, milliseconds)`` parts.
+
+    Milliseconds are truncated (not rounded) so the reassembled value
+    ``s + ms/1000`` never exceeds ``t``; rounding up could produce a
+    close-before-open record for very short accesses.
+    """
+    if t < 0:
+        raise SimulationError(f"timestamps are non-negative, got {t}")
+    seconds = int(t)
+    millis = int((t - seconds) * 1000.0)
+    if millis > 999:  # guard against float artifacts like 0.9999999 -> 1000
+        millis = 999
+    return seconds, millis
+
+
+class SimulationClock:
+    """Monotonically advancing simulated clock, in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationError(f"start time must be non-negative, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` seconds; returns the new time."""
+        if dt < 0:
+            raise SimulationError(f"cannot advance by negative dt={dt}")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Jump forward to absolute time ``t`` (never backward)."""
+        if t < self._now:
+            raise SimulationError(
+                f"cannot move clock backward from {self._now} to {t}"
+            )
+        self._now = float(t)
+        return self._now
+
+    def parts(self) -> tuple[int, int]:
+        """Current time as ``(seconds, milliseconds)``."""
+        return timestamp_parts(self._now)

@@ -1,0 +1,303 @@
+"""The storage cluster: devices + file namespace + accesses + migrations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import (
+    CapacityError,
+    DeviceUnavailableError,
+    SimulationError,
+    UnknownDeviceError,
+    UnknownFileError,
+)
+from repro.replaydb.records import AccessRecord, MovementRecord
+from repro.simulation.clock import timestamp_parts
+from repro.simulation.device import StorageDevice
+from repro.simulation.network import TransferLink
+
+
+@dataclass
+class FileInfo:
+    """One file in the cluster namespace."""
+
+    fid: int
+    path: str
+    size_bytes: int
+    device: str
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise SimulationError(
+                f"file {self.fid} must have positive size, got {self.size_bytes}"
+            )
+
+
+class StorageCluster:
+    """Devices, the files placed on them, and the operations between them.
+
+    All methods that touch time take an explicit ``t`` (simulated seconds);
+    the cluster itself is clock-free so multiple workload runners can share
+    it while interleaving their own timelines.
+    """
+
+    def __init__(
+        self,
+        devices: list[StorageDevice],
+        *,
+        link: TransferLink | None = None,
+    ) -> None:
+        if not devices:
+            raise SimulationError("a cluster needs at least one device")
+        names = [d.name for d in devices]
+        if len(set(names)) != len(names):
+            raise SimulationError(f"duplicate device names: {names}")
+        fsids = [d.fsid for d in devices]
+        if len(set(fsids)) != len(fsids):
+            raise SimulationError(f"duplicate fsids: {fsids}")
+        self._devices: dict[str, StorageDevice] = {d.name: d for d in devices}
+        self._by_fsid: dict[int, StorageDevice] = {d.fsid: d for d in devices}
+        self.link = link if link is not None else TransferLink()
+        self._files: dict[int, FileInfo] = {}
+
+    # -- device access -----------------------------------------------------
+    @property
+    def device_names(self) -> list[str]:
+        return list(self._devices)
+
+    @property
+    def fsids(self) -> list[int]:
+        return [d.fsid for d in self._devices.values()]
+
+    def device(self, name: str) -> StorageDevice:
+        try:
+            return self._devices[name]
+        except KeyError:
+            raise UnknownDeviceError(
+                f"no device named {name!r}; have {self.device_names}"
+            ) from None
+
+    def device_by_fsid(self, fsid: int) -> StorageDevice:
+        try:
+            return self._by_fsid[fsid]
+        except KeyError:
+            raise UnknownDeviceError(
+                f"no device with fsid {fsid}; have {self.fsids}"
+            ) from None
+
+    # -- availability ----------------------------------------------------
+    @property
+    def available_device_names(self) -> list[str]:
+        """Devices currently accepting new placements."""
+        return [d.name for d in self._devices.values() if d.available]
+
+    def set_device_available(self, name: str, available: bool) -> None:
+        """Mark a device (un)available for *new* placements.
+
+        Existing files on an unavailable device keep being served; only
+        ``add_file`` and migrations toward it are refused.  This models
+        the paper's "permissions or availability changes in the system"
+        (section V-H), which the Action Checker filters against.
+        """
+        self.device(name).available = bool(available)
+
+    def _require_available(self, name: str) -> None:
+        if not self.device(name).available:
+            raise DeviceUnavailableError(
+                f"device {name!r} is not accepting new placements"
+            )
+
+    # -- namespace -----------------------------------------------------------
+    def add_file(self, fid: int, path: str, size_bytes: int, device: str) -> FileInfo:
+        """Place a new file on a device."""
+        if fid in self._files:
+            raise SimulationError(f"file {fid} already exists")
+        self.device(device)  # validate
+        self._require_available(device)
+        info = FileInfo(fid=fid, path=path, size_bytes=size_bytes, device=device)
+        self._check_capacity(device, size_bytes)
+        self._files[fid] = info
+        return info
+
+    def file(self, fid: int) -> FileInfo:
+        try:
+            return self._files[fid]
+        except KeyError:
+            raise UnknownFileError(f"no file with fid {fid}") from None
+
+    @property
+    def files(self) -> list[FileInfo]:
+        return list(self._files.values())
+
+    def layout(self) -> dict[int, str]:
+        """Current placement: fid -> device name.
+
+        This is the paper's "configuration file" that workloads consult
+        before each access (section VI).
+        """
+        return {fid: info.device for fid, info in self._files.items()}
+
+    def files_on(self, device: str) -> list[FileInfo]:
+        self.device(device)  # validate
+        return [info for info in self._files.values() if info.device == device]
+
+    def stored_bytes(self, device: str) -> int:
+        return sum(info.size_bytes for info in self.files_on(device))
+
+    def _check_capacity(self, device: str, extra_bytes: int) -> None:
+        spec = self.device(device).spec
+        if self.stored_bytes(device) + extra_bytes > spec.capacity_bytes:
+            raise CapacityError(
+                f"placing {extra_bytes} bytes on {device!r} would exceed its "
+                f"capacity of {spec.capacity_bytes} bytes"
+            )
+
+    # -- operations ------------------------------------------------------
+    def access(self, fid: int, t: float, *, rb: int = 0, wb: int = 0) -> AccessRecord:
+        """Perform one file access starting at time ``t``.
+
+        ``rb``/``wb`` default to a full-file read when both are zero, the
+        common case for the BELLE II workload's whole-file scans.
+        """
+        info = self.file(fid)
+        if rb == 0 and wb == 0:
+            rb = info.size_bytes
+        device = self.device(info.device)
+        duration = device.perform_access(t, rb, wb)
+        ots, otms = timestamp_parts(t)
+        cts, ctms = timestamp_parts(t + duration)
+        return AccessRecord(
+            fid=fid,
+            fsid=device.fsid,
+            device=device.name,
+            path=info.path,
+            rb=rb,
+            wb=wb,
+            ots=ots,
+            otms=otms,
+            cts=cts,
+            ctms=ctms,
+        )
+
+    def migrate(self, fid: int, dst: str, t: float) -> MovementRecord | None:
+        """Move a file to device ``dst`` starting at time ``t``.
+
+        Returns ``None`` when the file is already there (a no-op the
+        policies are allowed to request).  The transfer occupies the source
+        (read), the destination (write) and the network link; both devices
+        absorb the traffic so migrations crowd subsequent accesses -- the
+        paper's measurements always "includ[e] moving overhead".
+        """
+        info = self.file(fid)
+        dst_device = self.device(dst)
+        if info.device == dst:
+            return None
+        self._require_available(dst)
+        self._check_capacity(dst, info.size_bytes)
+        src_device = self.device(info.device)
+        read_bw = src_device.effective_bandwidth(t, is_read=True)
+        write_bw = dst_device.effective_bandwidth(t, is_read=False)
+        bottleneck = min(read_bw, write_bw, self.link.bandwidth_bytes)
+        duration = self.link.latency_s + info.size_bytes / bottleneck
+        src_device.absorb_transfer(t, info.size_bytes, duration)
+        dst_device.absorb_transfer(t, info.size_bytes, duration)
+        move = MovementRecord(
+            timestamp=t,
+            fid=fid,
+            src_device=info.device,
+            dst_device=dst,
+            bytes_moved=info.size_bytes,
+            duration=duration,
+        )
+        info.device = dst
+        return move
+
+    def migrate_incremental(
+        self, fid: int, dst: str, t: float, *, chunk_bytes: int
+    ) -> MovementRecord | None:
+        """Move a file in chunks instead of one bulk transfer.
+
+        The paper's future work: "Currently Geomancy moves whole files in
+        one movement; however, in the future, we will incrementally move a
+        file to address parallel accesses."  Each chunk is a separate
+        transfer on both devices, so the crowding cost is spread over the
+        whole window instead of landing as one burst; the total duration
+        is correspondingly longer (per-chunk link latency re-paid).
+
+        Returns one :class:`MovementRecord` covering the whole migration,
+        or ``None`` if the file is already at ``dst``.
+        """
+        if chunk_bytes <= 0:
+            raise SimulationError(
+                f"chunk_bytes must be positive, got {chunk_bytes}"
+            )
+        info = self.file(fid)
+        dst_device = self.device(dst)
+        if info.device == dst:
+            return None
+        self._require_available(dst)
+        self._check_capacity(dst, info.size_bytes)
+        src_device = self.device(info.device)
+        remaining = info.size_bytes
+        now = t
+        while remaining > 0:
+            chunk = min(chunk_bytes, remaining)
+            read_bw = src_device.effective_bandwidth(now, is_read=True)
+            write_bw = dst_device.effective_bandwidth(now, is_read=False)
+            bottleneck = min(read_bw, write_bw, self.link.bandwidth_bytes)
+            chunk_duration = self.link.latency_s + chunk / bottleneck
+            src_device.absorb_transfer(now, chunk, chunk_duration)
+            dst_device.absorb_transfer(now, chunk, chunk_duration)
+            now += chunk_duration
+            remaining -= chunk
+        move = MovementRecord(
+            timestamp=t,
+            fid=fid,
+            src_device=info.device,
+            dst_device=dst,
+            bytes_moved=info.size_bytes,
+            duration=now - t,
+        )
+        info.device = dst
+        return move
+
+    def apply_layout(
+        self, layout: dict[int, str], t: float, *, strict: bool = True
+    ) -> list[MovementRecord]:
+        """Migrate every file whose target differs from its current device.
+
+        Returns the movements actually performed, in fid order; the caller
+        charges their total duration to its timeline.  With
+        ``strict=False`` individually unsatisfiable moves (capacity
+        exceeded, device stopped accepting placements) are skipped instead
+        of aborting the whole layout mid-application -- the behaviour the
+        Geomancy loop wants, since conditions can change between the
+        Action Checker's validation and execution.
+        """
+        moves = []
+        for fid in sorted(layout):
+            try:
+                move = self.migrate(fid, layout[fid], t)
+            except (CapacityError, DeviceUnavailableError):
+                if strict:
+                    raise
+                continue
+            if move is not None:
+                moves.append(move)
+                t += move.duration
+        return moves
+
+    # -- accounting ------------------------------------------------------
+    def usage_percent(self) -> dict[str, float]:
+        """Share of all workload accesses served per device (Table IV)."""
+        total = sum(d.stats.accesses for d in self._devices.values())
+        if total == 0:
+            return {name: 0.0 for name in self._devices}
+        return {
+            name: 100.0 * dev.stats.accesses / total
+            for name, dev in self._devices.items()
+        }
+
+    def reset_stats(self) -> None:
+        for device in self._devices.values():
+            device.reset_stats()

@@ -1,0 +1,221 @@
+"""Storage-device model.
+
+Each device serves accesses at a bandwidth shaped by four effects the paper's
+live system exhibits:
+
+* **Asymmetric read/write speed** -- "placement policies like LRU have
+  difficulty dealing with nodes -- such as the RAID-5 node -- that have
+  large imbalance between read- and write-speeds" (section VII).
+* **External interference** -- other users' demand, a
+  :class:`~repro.simulation.interference.LoadProcess`.
+* **Crowding** -- the more of the workload's own traffic lands on a device,
+  the slower it gets ("if we were to move all files onto files0, its
+  performance would suffer greatly", section VII).  Modelled as a recent-
+  bytes utilization window feeding a queueing-style slowdown.
+* **Heavy-tailed noise** -- Table IV's per-device standard deviations exceed
+  the means, which a cache-hit mechanism (occasional much-faster accesses)
+  plus lognormal service noise reproduces.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.simulation.interference import ConstantLoad, LoadProcess
+
+GBPS = 1e9  # bytes per second in one GB/s
+
+#: accesses can never finish faster than this, so the millisecond-truncated
+#: close timestamp always lands strictly after the open timestamp
+MIN_ACCESS_DURATION = 0.002
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one storage device (mount)."""
+
+    name: str
+    fsid: int
+    read_gbps: float
+    write_gbps: float
+    capacity_bytes: int
+    latency_s: float = 0.002
+    #: sigma of the multiplicative lognormal service-time noise
+    noise_sigma: float = 0.25
+    #: strength of the self-contention (crowding) slowdown
+    crowding_factor: float = 3.0
+    #: fraction of external load that actually steals bandwidth here
+    interference_sensitivity: float = 1.0
+    #: probability an access is served from cache at ``cache_gbps``
+    cache_hit_rate: float = 0.0
+    cache_gbps: float = 20.0
+    #: sliding window over which crowding utilization is measured
+    utilization_window_s: float = 30.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.read_gbps <= 0 or self.write_gbps <= 0:
+            raise ConfigurationError(
+                f"{self.name}: bandwidths must be positive "
+                f"(read={self.read_gbps}, write={self.write_gbps})"
+            )
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError(
+                f"{self.name}: capacity must be positive, got {self.capacity_bytes}"
+            )
+        if self.latency_s < 0:
+            raise ConfigurationError(
+                f"{self.name}: latency must be non-negative, got {self.latency_s}"
+            )
+        if self.noise_sigma < 0:
+            raise ConfigurationError(
+                f"{self.name}: noise_sigma must be non-negative"
+            )
+        if self.crowding_factor < 0:
+            raise ConfigurationError(
+                f"{self.name}: crowding_factor must be non-negative"
+            )
+        if not 0.0 <= self.interference_sensitivity <= 1.0:
+            raise ConfigurationError(
+                f"{self.name}: interference_sensitivity must be in [0, 1]"
+            )
+        if not 0.0 <= self.cache_hit_rate <= 1.0:
+            raise ConfigurationError(
+                f"{self.name}: cache_hit_rate must be in [0, 1]"
+            )
+        if self.cache_gbps <= 0:
+            raise ConfigurationError(f"{self.name}: cache_gbps must be positive")
+        if self.utilization_window_s <= 0:
+            raise ConfigurationError(
+                f"{self.name}: utilization_window_s must be positive"
+            )
+
+
+@dataclass
+class DeviceStats:
+    """Cumulative accounting for one device."""
+
+    accesses: int = 0
+    bytes_served: int = 0
+    busy_time: float = 0.0
+    throughput_samples: list[float] = field(default_factory=list)
+
+    def mean_throughput_gbps(self) -> float:
+        if not self.throughput_samples:
+            raise SimulationError("no accesses recorded on this device")
+        return float(np.mean(self.throughput_samples)) / GBPS
+
+    def std_throughput_gbps(self) -> float:
+        if not self.throughput_samples:
+            raise SimulationError("no accesses recorded on this device")
+        return float(np.std(self.throughput_samples)) / GBPS
+
+
+class StorageDevice:
+    """Runtime state and service model for one device."""
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        interference: LoadProcess | None = None,
+        *,
+        seed: int = 0,
+    ) -> None:
+        self.spec = spec
+        self.interference = interference if interference is not None else ConstantLoad(0.0)
+        self._rng = np.random.default_rng((seed, spec.fsid))
+        self._recent: deque[tuple[float, int]] = deque()
+        self.stats = DeviceStats()
+        #: whether the device accepts *new* placements; existing data keeps
+        #: being served ("permissions or availability changes", paper V-H)
+        self.available = True
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def fsid(self) -> int:
+        return self.spec.fsid
+
+    # -- contention model ----------------------------------------------------
+    def _prune_recent(self, t: float) -> None:
+        horizon = t - self.spec.utilization_window_s
+        while self._recent and self._recent[0][0] < horizon:
+            self._recent.popleft()
+
+    def utilization(self, t: float) -> float:
+        """Recent traffic as a fraction of what the device could serve.
+
+        Bytes completed in the sliding window divided by the window's read
+        capacity; can exceed 1 when migrations pile on extra load.
+        """
+        self._prune_recent(t)
+        window_bytes = sum(b for _, b in self._recent)
+        window_capacity = self.spec.read_gbps * GBPS * self.spec.utilization_window_s
+        return window_bytes / window_capacity
+
+    def external_load(self, t: float) -> float:
+        """Interference at ``t`` scaled by this device's sensitivity."""
+        return self.spec.interference_sensitivity * self.interference.load(t)
+
+    def effective_bandwidth(self, t: float, *, is_read: bool) -> float:
+        """Deterministic (noise-free) bandwidth in bytes/s at time ``t``."""
+        base = (self.spec.read_gbps if is_read else self.spec.write_gbps) * GBPS
+        ext = min(0.95, self.external_load(t))
+        crowd = self.spec.crowding_factor * self.utilization(t)
+        return base * (1.0 - ext) / (1.0 + crowd)
+
+    # -- service ---------------------------------------------------------
+    def service_time(self, t: float, rb: int, wb: int) -> float:
+        """Sampled duration of an access starting at ``t`` (seconds)."""
+        if rb < 0 or wb < 0:
+            raise SimulationError(
+                f"byte counts must be non-negative (rb={rb}, wb={wb})"
+            )
+        if rb == 0 and wb == 0:
+            raise SimulationError("access must read or write at least one byte")
+        if self.spec.cache_hit_rate and self._rng.random() < self.spec.cache_hit_rate:
+            transfer = (rb + wb) / (self.spec.cache_gbps * GBPS)
+        else:
+            transfer = 0.0
+            if rb:
+                transfer += rb / self.effective_bandwidth(t, is_read=True)
+            if wb:
+                transfer += wb / self.effective_bandwidth(t, is_read=False)
+            if self.spec.noise_sigma:
+                sigma = self.spec.noise_sigma
+                # Mean-one multiplicative noise on the transfer time.
+                transfer *= self._rng.lognormal(-sigma * sigma / 2.0, sigma)
+        return max(self.spec.latency_s + transfer, MIN_ACCESS_DURATION)
+
+    def perform_access(self, t: float, rb: int, wb: int) -> float:
+        """Serve an access and account for it; returns the duration."""
+        duration = self.service_time(t, rb, wb)
+        total = rb + wb
+        self._recent.append((t + duration, total))
+        self.stats.accesses += 1
+        self.stats.bytes_served += total
+        self.stats.busy_time += duration
+        self.stats.throughput_samples.append(total / duration)
+        return duration
+
+    def absorb_transfer(self, t: float, nbytes: int, duration: float) -> None:
+        """Account for migration traffic that hits this device.
+
+        Migration bytes crowd the device (they enter the utilization
+        window) but are not workload accesses, so they do not contribute
+        throughput samples.
+        """
+        if nbytes < 0 or duration < 0:
+            raise SimulationError("transfer bytes/duration must be non-negative")
+        self._recent.append((t + duration, nbytes))
+        self.stats.busy_time += duration
+
+    def reset_stats(self) -> None:
+        self.stats = DeviceStats()
+        self._recent.clear()

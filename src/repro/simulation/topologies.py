@@ -1,0 +1,112 @@
+"""Additional cluster topologies beyond the Bluesky testbed.
+
+The related-work systems the paper contrasts against assume particular
+storage shapes: Univistor/Stacker want "a tiered storage cluster with
+performance strictly going up as storage densities decrease" (a burst
+buffer over disk over tape), while Geomancy claims to work with "varying
+levels of performance, but no one storage layer dedicated to caching."
+These factories build both shapes so that claim is testable.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.simulation.cluster import StorageCluster
+from repro.simulation.device import DeviceSpec, StorageDevice
+from repro.simulation.interference import BurstyLoad, ConstantLoad
+from repro.simulation.network import TransferLink
+
+GB = 10**9
+
+
+def make_tiered_cluster(
+    *,
+    seed: int = 0,
+    buffer_capacity_gb: int = 50,
+) -> StorageCluster:
+    """A strict performance hierarchy: burst buffer > disk pool > archive.
+
+    Performance strictly increases as capacity decreases -- the storage
+    shape Univistor and Stacker are built for.
+    """
+    if buffer_capacity_gb < 1:
+        raise ConfigurationError(
+            f"buffer_capacity_gb must be >= 1, got {buffer_capacity_gb}"
+        )
+    devices = [
+        StorageDevice(
+            DeviceSpec(
+                name="burst", fsid=0, read_gbps=8.0, write_gbps=6.0,
+                capacity_bytes=buffer_capacity_gb * GB, latency_s=0.0003,
+                noise_sigma=0.2, crowding_factor=1.5,
+                interference_sensitivity=0.05,
+                description="NVRAM burst buffer",
+            ),
+            ConstantLoad(0.02),
+            seed=seed,
+        ),
+        StorageDevice(
+            DeviceSpec(
+                name="disk", fsid=1, read_gbps=1.5, write_gbps=1.0,
+                capacity_bytes=2000 * GB, latency_s=0.004,
+                noise_sigma=0.5, crowding_factor=2.5,
+                interference_sensitivity=0.5,
+                description="shared disk pool",
+            ),
+            BurstyLoad(p_on=0.25, on_level=0.4, off_level=0.05,
+                       slot_seconds=60.0, seed=seed * 17 + 1),
+            seed=seed,
+        ),
+        StorageDevice(
+            DeviceSpec(
+                name="archive", fsid=2, read_gbps=0.25, write_gbps=0.2,
+                capacity_bytes=50_000 * GB, latency_s=0.05,
+                noise_sigma=0.2, crowding_factor=1.0,
+                interference_sensitivity=0.2,
+                description="cold archive",
+            ),
+            ConstantLoad(0.05),
+            seed=seed,
+        ),
+    ]
+    return StorageCluster(devices, link=TransferLink(1.25, 0.001))
+
+
+def make_homogeneous_cluster(
+    n_devices: int = 4,
+    *,
+    seed: int = 0,
+    read_gbps: float = 1.5,
+    capacity_gb: int = 500,
+) -> StorageCluster:
+    """N identical devices differing only in their external interference.
+
+    The degenerate case for heuristics that rank devices by hardware speed:
+    all differentiation comes from time-varying contention, which is
+    exactly the signal Geomancy's model feeds on.
+    """
+    if n_devices < 2:
+        raise ConfigurationError(f"need >= 2 devices, got {n_devices}")
+    if read_gbps <= 0:
+        raise ConfigurationError(f"read_gbps must be positive, got {read_gbps}")
+    if capacity_gb < 1:
+        raise ConfigurationError(f"capacity_gb must be >= 1, got {capacity_gb}")
+    devices = [
+        StorageDevice(
+            DeviceSpec(
+                name=f"node{i}", fsid=i,
+                read_gbps=read_gbps, write_gbps=read_gbps * 0.7,
+                capacity_bytes=capacity_gb * GB, latency_s=0.003,
+                noise_sigma=0.4, crowding_factor=2.5,
+                interference_sensitivity=0.8,
+                description="homogeneous storage node",
+            ),
+            # Each node gets its own bursty schedule: at any moment some
+            # nodes are hot and others quiet.
+            BurstyLoad(p_on=0.3, on_level=0.6, off_level=0.05,
+                       slot_seconds=90.0, seed=seed * 23 + i),
+            seed=seed,
+        )
+        for i in range(n_devices)
+    ]
+    return StorageCluster(devices, link=TransferLink(1.25, 0.001))

@@ -1,0 +1,59 @@
+"""Tests for the MAE-sign prediction adjustment (paper section V-G)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adjustment import PredictionAdjuster
+from repro.errors import ModelError
+
+
+class TestFit:
+    def test_underprediction_gives_positive_sign(self):
+        adj = PredictionAdjuster().fit(
+            np.array([0.9, 0.8]), np.array([1.0, 1.0])
+        )
+        assert adj.sign == 1
+        assert adj.mae == pytest.approx(0.15)
+
+    def test_overprediction_gives_negative_sign(self):
+        adj = PredictionAdjuster().fit(
+            np.array([1.2, 1.1]), np.array([1.0, 1.0])
+        )
+        assert adj.sign == -1
+
+    def test_use_before_fit_raises(self):
+        adj = PredictionAdjuster()
+        with pytest.raises(ModelError):
+            adj.adjust(np.array([1.0]))
+        with pytest.raises(ModelError):
+            _ = adj.mae
+        with pytest.raises(ModelError):
+            _ = adj.sign
+
+
+class TestAdjust:
+    def test_paper_formula_underprediction(self):
+        # prediction + MAE * prediction when under-predicting
+        adj = PredictionAdjuster().fit(np.array([0.9]), np.array([1.0]))
+        out = adj.adjust(np.array([2.0]))
+        assert out[0] == pytest.approx(2.0 * (1.0 + adj.mae))
+
+    def test_paper_formula_overprediction(self):
+        adj = PredictionAdjuster().fit(np.array([1.5]), np.array([1.0]))
+        out = adj.adjust(np.array([2.0]))
+        assert out[0] == pytest.approx(2.0 * (1.0 - adj.mae))
+
+    def test_adjustment_reduces_bias(self):
+        rng = np.random.default_rng(0)
+        targets = rng.uniform(1.0, 2.0, 200)
+        predictions = targets * 0.9  # systematic 10% under-prediction
+        adj = PredictionAdjuster().fit(predictions, targets)
+        adjusted = adj.adjust(predictions)
+        before = abs(np.mean(predictions - targets))
+        after = abs(np.mean(adjusted - targets))
+        assert after < before
+
+    def test_perfect_predictions_unchanged(self):
+        targets = np.array([1.0, 2.0, 3.0])
+        adj = PredictionAdjuster().fit(targets, targets)
+        np.testing.assert_allclose(adj.adjust(targets), targets)

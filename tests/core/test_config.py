@@ -1,0 +1,64 @@
+"""Tests for GeomancyConfig validation."""
+
+import pytest
+
+from repro.core.config import GeomancyConfig
+from repro.errors import ConfigurationError
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = GeomancyConfig()
+        assert config.model_number == 1
+        assert config.z == 6
+        assert config.training_rows == 12_000
+        assert config.epochs == 200
+        assert config.optimizer == "sgd"
+        assert config.exploration_rate == 0.10
+        assert config.cooldown_runs == 5
+        assert config.max_files_per_move == 14
+
+    def test_z_follows_features(self):
+        config = GeomancyConfig(features=("rb", "wb", "fsid"))
+        assert config.z == 3
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"model_number": 0},
+            {"model_number": 24},
+            {"features": ()},
+            {"training_rows": 5},
+            {"epochs": 0},
+            {"batch_size": 0},
+            {"learning_rate": 0.0},
+            {"smoothing_window": 0},
+            {"timesteps": 0},
+            {"exploration_rate": -0.1},
+            {"exploration_rate": 1.5},
+            {"cooldown_runs": 0},
+            {"max_files_per_move": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            GeomancyConfig(**kwargs)
+
+    def test_all_model_numbers_accepted(self):
+        for number in range(1, 24):
+            assert GeomancyConfig(model_number=number).model_number == number
+
+
+class TestExtensionKnobs:
+    def test_latency_target_accepted(self):
+        assert GeomancyConfig(target="latency").target == "latency"
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GeomancyConfig(target="iops")
+
+    def test_gap_scheduler_flag(self):
+        assert GeomancyConfig(use_gap_scheduler=True).use_gap_scheduler
+        assert not GeomancyConfig().use_gap_scheduler

@@ -1,0 +1,76 @@
+"""Tests for layout diffing and move capping."""
+
+import pytest
+
+from repro.core.layout import LayoutChange, as_layout, cap_moves, layout_diff
+from repro.errors import PolicyError
+
+
+class TestLayoutDiff:
+    def test_only_changes_reported(self):
+        current = {1: "a", 2: "b", 3: "c"}
+        proposed = {1: "a", 2: "c"}
+        changes = layout_diff(current, proposed)
+        assert changes == [LayoutChange(fid=2, src="b", dst="c")]
+
+    def test_empty_proposal_no_changes(self):
+        assert layout_diff({1: "a"}, {}) == []
+
+    def test_unknown_file_rejected(self):
+        with pytest.raises(PolicyError, match="unknown file"):
+            layout_diff({1: "a"}, {2: "b"})
+
+    def test_fid_order(self):
+        current = {3: "a", 1: "a", 2: "a"}
+        proposed = {3: "b", 1: "b", 2: "b"}
+        changes = layout_diff(current, proposed)
+        assert [c.fid for c in changes] == [1, 2, 3]
+
+
+class TestCapMoves:
+    @pytest.fixture
+    def changes(self):
+        return [
+            LayoutChange(fid=i, src="a", dst="b") for i in range(5)
+        ]
+
+    def test_under_cap_unchanged(self, changes):
+        assert cap_moves(changes, 10) == changes
+
+    def test_cap_without_gains_keeps_prefix(self, changes):
+        assert [c.fid for c in cap_moves(changes, 2)] == [0, 1]
+
+    def test_cap_with_gains_keeps_best(self, changes):
+        gains = {0: 1.0, 1: 9.0, 2: 3.0, 3: 8.0, 4: 2.0}
+        kept = cap_moves(changes, 2, gains)
+        assert [c.fid for c in kept] == [1, 3]
+
+    def test_result_sorted_by_fid(self, changes):
+        gains = {0: 5.0, 4: 9.0, 2: 7.0, 1: 0.0, 3: 0.0}
+        kept = cap_moves(changes, 3, gains)
+        assert [c.fid for c in kept] == sorted(c.fid for c in kept)
+
+    def test_missing_gain_treated_as_zero(self, changes):
+        gains = {0: 1.0}
+        kept = cap_moves(changes, 1, gains)
+        assert kept[0].fid == 0
+
+    def test_invalid_cap_rejected(self, changes):
+        with pytest.raises(PolicyError):
+            cap_moves(changes, 0)
+
+    def test_paper_cap_of_14(self):
+        changes = [LayoutChange(fid=i, src="a", dst="b") for i in range(30)]
+        assert len(cap_moves(changes, 14)) == 14
+
+
+class TestAsLayout:
+    def test_round_trip(self):
+        changes = [
+            LayoutChange(fid=1, src="a", dst="b"),
+            LayoutChange(fid=2, src="a", dst="c"),
+        ]
+        assert as_layout(changes) == {1: "b", 2: "c"}
+
+    def test_empty(self):
+        assert as_layout([]) == {}

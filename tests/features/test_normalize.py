@@ -1,0 +1,108 @@
+"""Tests for min-max normalization and categorical encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import FeatureError
+from repro.features.normalize import CategoryEncoder, MinMaxNormalizer
+
+FINITE = st.floats(-1e9, 1e9, allow_nan=False, allow_infinity=False)
+
+
+class TestMinMaxNormalizer:
+    def test_maps_to_unit_interval(self):
+        x = np.array([[1.0, 10.0], [3.0, 20.0], [5.0, 30.0]])
+        out = MinMaxNormalizer().fit_transform(x)
+        np.testing.assert_allclose(out.min(axis=0), 0.0)
+        np.testing.assert_allclose(out.max(axis=0), 1.0)
+
+    def test_inverse_round_trip(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((40, 3)) * 100 - 50
+        norm = MinMaxNormalizer().fit(x)
+        np.testing.assert_allclose(norm.inverse_transform(norm.transform(x)), x)
+
+    @given(arrays(np.float64, (10, 2), elements=FINITE))
+    def test_round_trip_property(self, x):
+        norm = MinMaxNormalizer().fit(x)
+        back = norm.inverse_transform(norm.transform(x))
+        np.testing.assert_allclose(back, x, rtol=1e-9, atol=1e-6)
+
+    def test_constant_column_maps_to_half(self):
+        x = np.array([[5.0, 1.0], [5.0, 2.0]])
+        out = MinMaxNormalizer().fit_transform(x)
+        np.testing.assert_allclose(out[:, 0], 0.5)
+
+    def test_constant_column_inverse_restores_value(self):
+        x = np.array([[5.0], [5.0]])
+        norm = MinMaxNormalizer().fit(x)
+        np.testing.assert_allclose(
+            norm.inverse_transform(norm.transform(x)), x
+        )
+
+    def test_out_of_range_extrapolates(self):
+        norm = MinMaxNormalizer().fit(np.array([[0.0], [10.0]]))
+        out = norm.transform(np.array([[20.0]]))
+        assert out[0, 0] == pytest.approx(2.0)
+
+    def test_1d_input_treated_as_column(self):
+        norm = MinMaxNormalizer().fit(np.array([0.0, 2.0, 4.0]))
+        out = norm.transform(np.array([1.0]))
+        assert out.shape == (1, 1)
+        assert out[0, 0] == pytest.approx(0.25)
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(FeatureError, match="before fit"):
+            MinMaxNormalizer().transform(np.ones((2, 2)))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(FeatureError):
+            MinMaxNormalizer().fit(np.empty((0, 3)))
+
+    def test_column_count_mismatch_raises(self):
+        norm = MinMaxNormalizer().fit(np.ones((3, 2)))
+        with pytest.raises(FeatureError):
+            norm.transform(np.ones((3, 4)))
+
+    def test_rank_3_rejected(self):
+        with pytest.raises(FeatureError):
+            MinMaxNormalizer().fit(np.ones((2, 2, 2)))
+
+
+class TestCategoryEncoder:
+    def test_single_category_is_zero(self):
+        enc = CategoryEncoder()
+        assert enc.encode("alice") == 0.0
+
+    def test_codes_span_unit_interval(self):
+        enc = CategoryEncoder()
+        codes = enc.encode_many(["a", "b", "c"])
+        np.testing.assert_allclose(codes, [0.0, 0.5, 1.0])
+
+    def test_repeated_values_share_codes(self):
+        enc = CategoryEncoder()
+        codes = enc.encode_many(["x", "y", "x", "y"])
+        assert codes[0] == codes[2] and codes[1] == codes[3]
+
+    def test_order_stable_as_vocabulary_grows(self):
+        enc = CategoryEncoder()
+        enc.encode("a")
+        enc.encode("b")
+        first = enc.encode("a")
+        enc.encode("c")
+        second = enc.encode("a")
+        # Scale changes but relative order is stable.
+        assert first == 0.0 and second == 0.0
+
+    def test_categories_in_registration_order(self):
+        enc = CategoryEncoder()
+        enc.encode_many(["z", "a", "m"])
+        assert enc.categories() == ["z", "a", "m"]
+
+    def test_len(self):
+        enc = CategoryEncoder()
+        enc.encode_many(["a", "b", "a"])
+        assert len(enc) == 2

@@ -1,0 +1,62 @@
+"""Tests for the paper's Tp formula."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FeatureError
+from repro.features.throughput import access_throughput, throughput_gbps
+
+
+class TestScalar:
+    def test_paper_formula(self):
+        # 1500 bytes over (12.5 - 10.25) = 2.25 s.
+        tp = access_throughput(rb=1000, wb=500, ots=10, otms=250, cts=12, ctms=500)
+        assert tp == pytest.approx(1500 / 2.25)
+
+    def test_read_only_access(self):
+        assert access_throughput(1000, 0, 0, 0, 1, 0) == pytest.approx(1000.0)
+
+    def test_millisecond_parts_matter(self):
+        fast = access_throughput(1000, 0, 10, 0, 10, 100)
+        slow = access_throughput(1000, 0, 10, 0, 10, 900)
+        assert fast == pytest.approx(10000.0)
+        assert slow == pytest.approx(1000 / 0.9)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(FeatureError, match="non-positive"):
+            access_throughput(1000, 0, 10, 0, 10, 0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(FeatureError):
+            access_throughput(1000, 0, 10, 500, 10, 100)
+
+    def test_gbps_conversion(self):
+        assert throughput_gbps(2e9, 0, 0, 0, 1, 0) == pytest.approx(2.0)
+
+
+class TestVectorized:
+    def test_array_inputs(self):
+        rb = np.array([1000.0, 2000.0])
+        zeros = np.zeros(2)
+        tp = access_throughput(rb, zeros, zeros, zeros, np.ones(2), zeros)
+        np.testing.assert_allclose(tp, [1000.0, 2000.0])
+
+    def test_mixed_invalid_row_rejected(self):
+        with pytest.raises(FeatureError):
+            access_throughput(
+                np.array([1.0, 1.0]), np.zeros(2),
+                np.zeros(2), np.zeros(2),
+                np.array([1.0, 0.0]), np.zeros(2),
+            )
+
+    @given(
+        st.integers(0, 10**9),
+        st.integers(0, 10**9),
+        st.integers(1, 10**6),
+    )
+    def test_throughput_nonnegative_and_scales_with_bytes(self, rb, wb, dur):
+        tp = access_throughput(rb, wb, 0, 0, dur, 0)
+        assert tp >= 0.0
+        assert tp == pytest.approx((rb + wb) / dur)

@@ -1,0 +1,96 @@
+"""Unit tests for activation functions and their derivatives."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ModelError
+from repro.nn.activations import get_activation, linear, relu, sigmoid, tanh
+
+FINITE = st.floats(-50, 50, allow_nan=False, allow_infinity=False)
+
+
+class TestReLU:
+    def test_positive_passthrough(self):
+        x = np.array([0.5, 2.0, 100.0])
+        np.testing.assert_array_equal(relu(x), x)
+
+    def test_negative_clamped(self):
+        x = np.array([-0.5, -2.0, -100.0])
+        np.testing.assert_array_equal(relu(x), np.zeros(3))
+
+    def test_derivative_is_step(self):
+        x = np.array([-1.0, 1.0])
+        y = relu(x)
+        np.testing.assert_array_equal(relu.backward(x, y), [0.0, 1.0])
+
+    @given(arrays(np.float64, (7,), elements=FINITE))
+    def test_output_nonnegative(self, x):
+        assert np.all(relu(x) >= 0.0)
+
+
+class TestLinear:
+    @given(arrays(np.float64, (5,), elements=FINITE))
+    def test_identity(self, x):
+        np.testing.assert_array_equal(linear(x), x)
+
+    def test_derivative_is_one(self):
+        x = np.array([-3.0, 0.0, 3.0])
+        np.testing.assert_array_equal(linear.backward(x, x), np.ones(3))
+
+
+class TestSigmoid:
+    def test_at_zero(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_extreme_inputs_stay_finite(self):
+        y = sigmoid(np.array([-1e4, 1e4]))
+        assert np.all(np.isfinite(y))
+        assert y[0] == pytest.approx(0.0, abs=1e-12)
+        assert y[1] == pytest.approx(1.0, abs=1e-12)
+
+    @given(arrays(np.float64, (6,), elements=FINITE))
+    def test_range_and_monotonicity(self, x):
+        # Beyond |x| ~ 36, sigmoid saturates to exactly 0.0/1.0 in float64,
+        # so the bounds are inclusive.
+        y = sigmoid(np.sort(x))
+        assert np.all(y >= 0.0) and np.all(y <= 1.0)
+        assert np.all(np.diff(y) >= -1e-15)
+
+    def test_derivative_matches_numeric(self):
+        x = np.linspace(-3, 3, 13)
+        eps = 1e-6
+        numeric = (sigmoid(x + eps) - sigmoid(x - eps)) / (2 * eps)
+        np.testing.assert_allclose(
+            sigmoid.backward(x, sigmoid(x)), numeric, rtol=1e-6
+        )
+
+
+class TestTanh:
+    def test_odd_function(self):
+        x = np.linspace(-2, 2, 9)
+        np.testing.assert_allclose(tanh(-x), -tanh(x))
+
+    def test_derivative_matches_numeric(self):
+        x = np.linspace(-3, 3, 13)
+        eps = 1e-6
+        numeric = (tanh(x + eps) - tanh(x - eps)) / (2 * eps)
+        np.testing.assert_allclose(tanh.backward(x, tanh(x)), numeric, rtol=1e-6)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["relu", "linear", "sigmoid", "tanh"])
+    def test_lookup_by_name(self, name):
+        assert get_activation(name).name == name
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_activation("ReLU") is relu
+
+    def test_activation_instance_passthrough(self):
+        assert get_activation(relu) is relu
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ModelError, match="unknown activation"):
+            get_activation("swish")

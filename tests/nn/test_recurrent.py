@@ -1,0 +1,109 @@
+"""Gradient checks and behavioural tests for SimpleRNN, LSTM and GRU.
+
+Getting BPTT right is the hard part of the from-scratch nn stack, so every
+cell type is checked against central-difference gradients for both tanh and
+relu cell activations (the paper's recurrent models use ReLU).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, ShapeError
+from repro.nn.recurrent import GRU, LSTM, SimpleRNN
+from tests.nn.gradcheck import assert_grads_close
+
+CELLS = [SimpleRNN, LSTM, GRU]
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+def make(cell_cls, units, activation, input_dim, rng):
+    layer = cell_cls(units, activation=activation)
+    layer.build(input_dim, rng)
+    return layer
+
+
+class TestForwardShapes:
+    @pytest.mark.parametrize("cell_cls", CELLS)
+    def test_returns_last_hidden_state(self, cell_cls, rng):
+        layer = make(cell_cls, 5, "tanh", 3, rng)
+        out = layer.forward(rng.standard_normal((4, 7, 3)))
+        assert out.shape == (4, 5)
+
+    @pytest.mark.parametrize("cell_cls", CELLS)
+    def test_single_timestep_accepted(self, cell_cls, rng):
+        layer = make(cell_cls, 2, "tanh", 3, rng)
+        assert layer.forward(rng.standard_normal((4, 1, 3))).shape == (4, 2)
+
+    @pytest.mark.parametrize("cell_cls", CELLS)
+    def test_rejects_rank_2_input(self, cell_cls, rng):
+        layer = make(cell_cls, 2, "tanh", 3, rng)
+        with pytest.raises(ShapeError):
+            layer.forward(rng.standard_normal((4, 3)))
+
+    @pytest.mark.parametrize("cell_cls", CELLS)
+    def test_rejects_wrong_feature_count(self, cell_cls, rng):
+        layer = make(cell_cls, 2, "tanh", 3, rng)
+        with pytest.raises(ShapeError):
+            layer.forward(rng.standard_normal((4, 7, 5)))
+
+    @pytest.mark.parametrize("cell_cls", CELLS)
+    def test_backward_before_forward_raises(self, cell_cls, rng):
+        layer = make(cell_cls, 2, "tanh", 3, rng)
+        with pytest.raises(ModelError):
+            layer.backward(np.ones((4, 2)))
+
+
+class TestGateCounts:
+    def test_simple_rnn_param_shapes(self, rng):
+        layer = make(SimpleRNN, 4, "tanh", 3, rng)
+        assert layer.params["W"].shape == (3, 4)
+        assert layer.params["U"].shape == (4, 4)
+        assert layer.params["b"].shape == (4,)
+
+    def test_lstm_has_four_gate_blocks(self, rng):
+        layer = make(LSTM, 4, "tanh", 3, rng)
+        assert layer.params["W"].shape == (3, 16)
+        assert layer.params["U"].shape == (4, 16)
+
+    def test_gru_has_three_gate_blocks(self, rng):
+        layer = make(GRU, 4, "tanh", 3, rng)
+        assert layer.params["W"].shape == (3, 12)
+        assert layer.params["U"].shape == (4, 12)
+
+
+class TestRecurrence:
+    @pytest.mark.parametrize("cell_cls", CELLS)
+    def test_output_depends_on_earlier_timesteps(self, cell_cls, rng):
+        layer = make(cell_cls, 4, "tanh", 3, rng)
+        x = rng.standard_normal((2, 5, 3))
+        base = layer.forward(x)
+        perturbed = x.copy()
+        perturbed[:, 0, :] += 1.0
+        assert not np.allclose(base, layer.forward(perturbed))
+
+    def test_simple_rnn_one_step_matches_dense_formula(self, rng):
+        layer = make(SimpleRNN, 3, "tanh", 2, rng)
+        x = rng.standard_normal((4, 1, 2))
+        want = np.tanh(x[:, 0, :] @ layer.params["W"] + layer.params["b"])
+        np.testing.assert_allclose(layer.forward(x), want)
+
+
+class TestGradients:
+    @pytest.mark.parametrize("cell_cls", CELLS)
+    @pytest.mark.parametrize("activation", ["tanh", "relu"])
+    def test_multi_step_gradients(self, cell_cls, activation, rng):
+        layer = make(cell_cls, 3, activation, 2, rng)
+        x = rng.standard_normal((4, 5, 2))
+        target = rng.standard_normal((4, 3))
+        assert_grads_close(layer, x, target, rtol=2e-4, atol=1e-6)
+
+    @pytest.mark.parametrize("cell_cls", CELLS)
+    def test_single_step_gradients(self, cell_cls, rng):
+        layer = make(cell_cls, 4, "tanh", 3, rng)
+        x = rng.standard_normal((5, 1, 3))
+        target = rng.standard_normal((5, 4))
+        assert_grads_close(layer, x, target, rtol=2e-4, atol=1e-6)

@@ -1,0 +1,76 @@
+"""Tests for weight save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn.layers import Dense
+from repro.nn.model_zoo import build_model
+from repro.nn.network import Sequential
+from repro.nn.serialization import load_weights, save_weights
+
+
+@pytest.fixture
+def trained_model():
+    rng = np.random.default_rng(0)
+    x = rng.random((50, 6))
+    y = x.sum(axis=1)[:, None]
+    net = build_model(1, z=6, seed=1)
+    net.fit(x, y, epochs=5)
+    return net, x
+
+
+class TestRoundTrip:
+    def test_predictions_identical_after_reload(self, trained_model, tmp_path):
+        net, x = trained_model
+        path = tmp_path / "weights.npz"
+        save_weights(net, path)
+        clone = build_model(1, z=6, seed=99)
+        clone.build(6)
+        load_weights(clone, path)
+        np.testing.assert_array_equal(net.predict(x), clone.predict(x))
+
+    def test_recurrent_model_round_trip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        x = rng.random((20, 4, 6))
+        net = build_model(12, z=6, seed=1)
+        net.build(6)
+        path = tmp_path / "w.npz"
+        save_weights(net, path)
+        clone = build_model(12, z=6, seed=2)
+        clone.build(6)
+        load_weights(clone, path)
+        np.testing.assert_array_equal(net.predict(x), clone.predict(x))
+
+
+class TestErrors:
+    def test_save_unbuilt_raises(self, tmp_path):
+        net = Sequential([Dense(2)], seed=0)
+        with pytest.raises(ModelError, match="unbuilt"):
+            save_weights(net, tmp_path / "w.npz")
+
+    def test_load_into_unbuilt_raises(self, trained_model, tmp_path):
+        net, _ = trained_model
+        path = tmp_path / "w.npz"
+        save_weights(net, path)
+        with pytest.raises(ModelError, match="build the model"):
+            load_weights(Sequential([Dense(2)], seed=0), path)
+
+    def test_architecture_mismatch_raises(self, trained_model, tmp_path):
+        net, _ = trained_model
+        path = tmp_path / "w.npz"
+        save_weights(net, path)
+        other = build_model(4, z=6, seed=0)
+        other.build(6)
+        with pytest.raises(ModelError, match="does not match"):
+            load_weights(other, path)
+
+    def test_shape_mismatch_raises(self, tmp_path):
+        a = Sequential([Dense(3)], seed=0)
+        a.build(4)
+        path = tmp_path / "w.npz"
+        save_weights(a, path)
+        b = Sequential([Dense(3)], seed=0)
+        b.build(5)
+        with pytest.raises(ModelError):
+            load_weights(b, path)

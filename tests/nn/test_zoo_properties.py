@@ -1,0 +1,76 @@
+"""Property tests over the whole Table-I zoo."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.model_zoo import (
+    ARCHITECTURES,
+    MODEL_NUMBERS,
+    build_model,
+    is_recurrent,
+)
+
+
+class TestParameterScaling:
+    @pytest.mark.parametrize("number", [1, 6, 11, 12, 18])
+    def test_parameters_grow_with_z(self, number):
+        small = build_model(number, z=3, seed=0)
+        big = build_model(number, z=9, seed=0)
+        small.build(3)
+        big.build(9)
+        assert big.parameter_count() > small.parameter_count()
+
+    def test_model_1_parameter_count_exact(self):
+        # 6 -> 96 -> 48 -> 24 -> 1 dense stack.
+        net = build_model(1, z=6, seed=0)
+        net.build(6)
+        expected = (
+            (6 * 96 + 96) + (96 * 48 + 48) + (48 * 24 + 24) + (24 * 1 + 1)
+        )
+        assert net.parameter_count() == expected
+
+    def test_recurrent_models_have_recurrent_kernels(self):
+        for number in MODEL_NUMBERS:
+            if not is_recurrent(number):
+                continue
+            net = build_model(number, z=4, seed=0)
+            net.build(4)
+            assert "U" in net.layers[0].params, number
+
+
+class TestZooDeterminism:
+    @given(
+        number=st.sampled_from(MODEL_NUMBERS),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_same_seed_same_predictions(self, number, seed):
+        x = np.random.default_rng(0).random((4, 6))
+        a = build_model(number, z=6, seed=seed)
+        b = build_model(number, z=6, seed=seed)
+        np.testing.assert_array_equal(a.predict(x), b.predict(x))
+
+    @given(number=st.sampled_from(MODEL_NUMBERS))
+    @settings(max_examples=23, deadline=None)
+    def test_predictions_finite_at_init(self, number):
+        x = np.random.default_rng(1).random((8, 6))
+        net = build_model(number, z=6, seed=3)
+        out = net.predict(x)
+        assert np.all(np.isfinite(out))
+        assert out.shape == (8, 1)
+
+
+class TestZooStructureInvariants:
+    def test_relu_heads_listed_in_architectures(self):
+        # Every spec's activation is a registered activation name.
+        from repro.nn.activations import get_activation
+
+        for specs in ARCHITECTURES.values():
+            for spec in specs:
+                get_activation(spec.activation)
+
+    def test_no_architecture_exceeds_six_layers(self):
+        # The paper's deepest stack (model 9) has six layers.
+        assert max(len(s) for s in ARCHITECTURES.values()) == 6

@@ -1,0 +1,89 @@
+"""Tests for the Geomancy policy adapters."""
+
+import pytest
+
+from repro.core.config import GeomancyConfig
+from repro.errors import PolicyError
+from repro.policies.geomancy_policy import (
+    GeomancyDynamicPolicy,
+    GeomancyStaticPolicy,
+)
+from repro.replaydb.db import ReplayDB
+from repro.simulation.bluesky import make_bluesky_cluster
+from repro.workloads.belle2 import Belle2Workload
+from repro.workloads.files import belle2_file_population
+from repro.workloads.runner import WorkloadRunner
+
+
+def quick_config():
+    # The model-quality gate is disabled: at this tiny scale the model's
+    # held-out error is of course terrible, and these tests exercise the
+    # proposal mechanics, not model quality.
+    return GeomancyConfig(
+        epochs=8, training_rows=600, batch_size=64, smoothing_window=20,
+        max_actionable_mare=1e9, require_skill=False,
+    )
+
+
+@pytest.fixture(scope="module")
+def warm_db():
+    """A ReplayDB warmed with real Bluesky telemetry (shared: read-only)."""
+    cluster = make_bluesky_cluster(seed=0)
+    files = belle2_file_population(seed=0)
+    runner = WorkloadRunner(cluster, Belle2Workload(files, seed=1))
+    names = cluster.device_names
+    runner.ensure_files_placed(
+        {f.fid: names[f.fid % len(names)] for f in files}
+    )
+    runner.warm_up(600)
+    device_by_fsid = {
+        cluster.device(name).fsid: name for name in names
+    }
+    return runner.db, files, names, device_by_fsid
+
+
+class TestGeomancyStatic:
+    def test_produces_complete_layout(self, warm_db):
+        db, files, names, device_by_fsid = warm_db
+        policy = GeomancyStaticPolicy(db, device_by_fsid, quick_config())
+        layout = policy.initial_layout(files, names)
+        assert set(layout) == {f.fid for f in files}
+        assert set(layout.values()) <= set(names)
+
+    def test_not_dynamic(self, warm_db):
+        db, files, names, device_by_fsid = warm_db
+        policy = GeomancyStaticPolicy(db, device_by_fsid, quick_config())
+        assert not policy.dynamic
+        assert policy.update_layout(db, files, names) is None
+
+    def test_empty_device_map_rejected(self, warm_db):
+        db, *_ = warm_db
+        with pytest.raises(PolicyError):
+            GeomancyStaticPolicy(db, {}, quick_config())
+
+
+class TestGeomancyDynamic:
+    def test_initial_layout_is_even_spread(self, warm_db):
+        _, files, names, device_by_fsid = warm_db
+        policy = GeomancyDynamicPolicy(device_by_fsid, quick_config())
+        layout = policy.initial_layout(files, names)
+        counts = {}
+        for device in layout.values():
+            counts[device] = counts.get(device, 0) + 1
+        assert all(count == 4 for count in counts.values())
+
+    def test_update_proposes_layout(self, warm_db):
+        db, files, names, device_by_fsid = warm_db
+        policy = GeomancyDynamicPolicy(device_by_fsid, quick_config())
+        layout = policy.update_layout(db, files, names)
+        assert layout is not None
+        assert set(layout.values()) <= set(names)
+
+    def test_update_skips_on_thin_telemetry(self, warm_db):
+        _, files, names, device_by_fsid = warm_db
+        policy = GeomancyDynamicPolicy(device_by_fsid, quick_config())
+        assert policy.update_layout(ReplayDB(), files, names) is None
+
+    def test_dynamic_flag(self, warm_db):
+        *_, device_by_fsid = warm_db
+        assert GeomancyDynamicPolicy(device_by_fsid, quick_config()).dynamic

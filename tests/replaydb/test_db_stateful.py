@@ -1,0 +1,69 @@
+"""Stateful property tests for the ReplayDB against a Python-dict model."""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.replaydb.db import ReplayDB
+from repro.replaydb.records import AccessRecord
+
+
+class ReplayDBMachine(RuleBasedStateMachine):
+    """The DB must agree with a straightforward in-memory reference."""
+
+    def __init__(self):
+        super().__init__()
+        self.db = ReplayDB()
+        self.model: list[AccessRecord] = []
+        self.t = 1
+
+    @rule(
+        fid=st.integers(0, 5),
+        fsid=st.integers(0, 2),
+        rb=st.integers(1, 10**9),
+        dur_ms=st.integers(1, 5000),
+    )
+    def insert(self, fid, fsid, rb, dur_ms):
+        # Integer millisecond arithmetic: float rounding must never
+        # produce a close-at-or-before-open record.
+        cts, ctms = divmod(self.t * 1000 + dur_ms, 1000)
+        record = AccessRecord(
+            fid=fid, fsid=fsid, device=f"dev{fsid}", path=f"f{fid}",
+            rb=rb, wb=0, ots=self.t, otms=0, cts=cts, ctms=ctms,
+        )
+        self.db.insert_access(record)
+        self.model.append(record)
+        self.t = cts + 1
+
+    @invariant()
+    def count_matches(self):
+        assert self.db.access_count() == len(self.model)
+
+    @invariant()
+    def recent_matches_tail(self):
+        if not self.model:
+            return
+        got = self.db.recent_accesses(3)
+        assert got == self.model[-3:]
+
+    @invariant()
+    def per_file_counts_match(self):
+        counts = {}
+        for record in self.model:
+            counts[record.fid] = counts.get(record.fid, 0) + 1
+        assert self.db.access_count_per_file() == counts
+
+    @invariant()
+    def device_filter_matches(self):
+        if not self.model:
+            return
+        device = self.model[-1].device
+        expected = [r for r in self.model if r.device == device]
+        got = self.db.recent_accesses(len(self.model), device=device)
+        assert got == expected
+
+
+ReplayDBMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None
+)
+TestReplayDBStateful = ReplayDBMachine.TestCase

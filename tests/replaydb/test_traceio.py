@@ -1,0 +1,116 @@
+"""Tests for trace serialization (JSONL and CSV)."""
+
+import pytest
+
+from repro.errors import ReplayDBError
+from repro.replaydb.db import ReplayDB
+from repro.replaydb.records import AccessRecord
+from repro.replaydb.traceio import (
+    export_db,
+    import_db,
+    load_trace_csv,
+    load_trace_jsonl,
+    save_trace_csv,
+    save_trace_jsonl,
+)
+from repro.workloads.eos import EOSTraceSynthesizer
+
+
+@pytest.fixture(scope="module")
+def records():
+    return EOSTraceSynthesizer(seed=1).records(40)
+
+
+class TestJSONL:
+    def test_round_trip(self, records, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        written = save_trace_jsonl(records, path)
+        assert written == 40
+        assert load_trace_jsonl(path) == records
+
+    def test_extras_preserved(self, records, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace_jsonl(records, path)
+        loaded = load_trace_jsonl(path)
+        assert loaded[0].extra == records[0].extra
+
+    def test_blank_lines_skipped(self, records, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace_jsonl(records[:2], path)
+        with open(path, "a") as fh:
+            fh.write("\n\n")
+        assert len(load_trace_jsonl(path)) == 2
+
+    def test_invalid_json_reported_with_line(self, records, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        save_trace_jsonl(records[:1], path)
+        with open(path, "a") as fh:
+            fh.write("not json\n")
+        with pytest.raises(ReplayDBError, match=":2:"):
+            load_trace_jsonl(path)
+
+    def test_missing_field_reported(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"fid": 1, "fsid": 0}\n')
+        with pytest.raises(ReplayDBError, match="malformed record"):
+            load_trace_jsonl(path)
+
+
+class TestCSV:
+    def test_round_trip(self, records, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace_csv(records, path)
+        loaded = load_trace_csv(path)
+        assert len(loaded) == len(records)
+        assert loaded[0].fid == records[0].fid
+        assert loaded[0].throughput == pytest.approx(records[0].throughput)
+
+    def test_extra_columns_round_trip(self, records, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace_csv(records, path)
+        loaded = load_trace_csv(path)
+        assert loaded[3].extra["rt"] == pytest.approx(records[3].extra["rt"])
+
+    def test_records_without_extras(self, tmp_path):
+        plain = [
+            AccessRecord(fid=1, fsid=0, device="d", path="p", rb=10, wb=0,
+                         ots=0, otms=0, cts=1, ctms=0)
+        ]
+        path = tmp_path / "plain.csv"
+        save_trace_csv(plain, path)
+        assert load_trace_csv(path) == plain
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("fid,fsid\n1,0\n")
+        with pytest.raises(ReplayDBError, match="missing required columns"):
+            load_trace_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ReplayDBError, match="empty CSV"):
+            load_trace_csv(path)
+
+    def test_malformed_value_reported(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        header = "fid,fsid,device,path,rb,wb,ots,otms,cts,ctms"
+        path.write_text(f"{header}\nxx,0,d,p,1,0,0,0,1,0\n")
+        with pytest.raises(ReplayDBError, match=":2:"):
+            load_trace_csv(path)
+
+
+class TestDBExportImport:
+    def test_round_trip_through_db(self, records, tmp_path):
+        src = ReplayDB()
+        src.insert_accesses(records)
+        path = tmp_path / "dump.jsonl"
+        assert export_db(src, path) == len(records)
+        dst = ReplayDB()
+        assert import_db(dst, path) == len(records)
+        assert dst.access_count() == len(records)
+        assert dst.recent_accesses(5) == src.recent_accesses(5)
+
+    def test_export_empty_db_rejected(self, tmp_path):
+        with pytest.raises(ReplayDBError, match="no accesses"):
+            export_db(ReplayDB(), tmp_path / "x.jsonl")

@@ -1,0 +1,71 @@
+"""Tests for simulated time."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.simulation.clock import SimulationClock, timestamp_parts
+
+
+class TestTimestampParts:
+    def test_whole_seconds(self):
+        assert timestamp_parts(42.0) == (42, 0)
+
+    def test_millisecond_part(self):
+        assert timestamp_parts(10.25) == (10, 250)
+
+    def test_truncates_not_rounds(self):
+        assert timestamp_parts(1.9999) == (1, 999)
+
+    def test_float_artifact_guard(self):
+        seconds, millis = timestamp_parts(2.9999999999)
+        assert millis <= 999
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            timestamp_parts(-0.1)
+
+    @given(st.floats(0, 1e9, allow_nan=False, allow_infinity=False))
+    def test_reassembly_never_exceeds_input(self, t):
+        s, ms = timestamp_parts(t)
+        assert 0 <= ms < 1000
+        assert s + ms / 1000.0 <= t + 1e-9
+
+
+class TestSimulationClock:
+    def test_starts_at_zero(self):
+        assert SimulationClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimulationClock(100.0).now == 100.0
+
+    def test_advance(self):
+        clock = SimulationClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.advance(0.5) == 3.0
+
+    def test_advance_zero_allowed(self):
+        clock = SimulationClock(5.0)
+        assert clock.advance(0.0) == 5.0
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationClock().advance(-1.0)
+
+    def test_advance_to(self):
+        clock = SimulationClock(1.0)
+        assert clock.advance_to(10.0) == 10.0
+
+    def test_advance_to_backward_rejected(self):
+        clock = SimulationClock(10.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(5.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationClock(-1.0)
+
+    def test_parts(self):
+        clock = SimulationClock(3.125)
+        assert clock.parts() == (3, 125)

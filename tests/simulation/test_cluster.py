@@ -1,0 +1,323 @@
+"""Tests for the storage cluster."""
+
+import pytest
+
+from repro.errors import (
+    CapacityError,
+    SimulationError,
+    UnknownDeviceError,
+    UnknownFileError,
+)
+from repro.simulation.cluster import FileInfo, StorageCluster
+from repro.simulation.device import DeviceSpec, StorageDevice
+from repro.simulation.interference import ConstantLoad
+from repro.simulation.network import TransferLink
+
+GB = 10**9
+
+
+def make_device(name, fsid, read=2.0, write=1.0, capacity=100 * GB, **kw):
+    spec = DeviceSpec(
+        name=name, fsid=fsid, read_gbps=read, write_gbps=write,
+        capacity_bytes=capacity, latency_s=0.002, noise_sigma=0.0,
+        crowding_factor=kw.pop("crowding_factor", 0.0), **kw,
+    )
+    return StorageDevice(spec, ConstantLoad(0.0))
+
+
+@pytest.fixture
+def cluster():
+    return StorageCluster(
+        [
+            make_device("fast", 0, read=4.0, write=2.0),
+            make_device("slow", 1, read=1.0, write=0.5, capacity=5 * GB),
+        ],
+        link=TransferLink(bandwidth_gbps=1.0, latency_s=0.0),
+    )
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            StorageCluster([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SimulationError, match="duplicate device names"):
+            StorageCluster([make_device("a", 0), make_device("a", 1)])
+
+    def test_duplicate_fsids_rejected(self):
+        with pytest.raises(SimulationError, match="duplicate fsids"):
+            StorageCluster([make_device("a", 0), make_device("b", 0)])
+
+    def test_lookup_by_name_and_fsid(self, cluster):
+        assert cluster.device("fast").fsid == 0
+        assert cluster.device_by_fsid(1).name == "slow"
+
+    def test_unknown_lookups_raise(self, cluster):
+        with pytest.raises(UnknownDeviceError):
+            cluster.device("ghost")
+        with pytest.raises(UnknownDeviceError):
+            cluster.device_by_fsid(9)
+
+
+class TestNamespace:
+    def test_add_and_query(self, cluster):
+        info = cluster.add_file(1, "data/a.root", GB, "fast")
+        assert info == FileInfo(1, "data/a.root", GB, "fast")
+        assert cluster.file(1).device == "fast"
+
+    def test_duplicate_fid_rejected(self, cluster):
+        cluster.add_file(1, "a", GB, "fast")
+        with pytest.raises(SimulationError, match="already exists"):
+            cluster.add_file(1, "b", GB, "slow")
+
+    def test_unknown_device_rejected(self, cluster):
+        with pytest.raises(UnknownDeviceError):
+            cluster.add_file(1, "a", GB, "ghost")
+
+    def test_unknown_file_raises(self, cluster):
+        with pytest.raises(UnknownFileError):
+            cluster.file(42)
+
+    def test_nonpositive_size_rejected(self, cluster):
+        with pytest.raises(SimulationError):
+            cluster.add_file(1, "a", 0, "fast")
+
+    def test_capacity_enforced_on_add(self, cluster):
+        cluster.add_file(1, "a", 4 * GB, "slow")
+        with pytest.raises(CapacityError):
+            cluster.add_file(2, "b", 2 * GB, "slow")
+
+    def test_layout_and_files_on(self, cluster):
+        cluster.add_file(1, "a", GB, "fast")
+        cluster.add_file(2, "b", GB, "slow")
+        assert cluster.layout() == {1: "fast", 2: "slow"}
+        assert [f.fid for f in cluster.files_on("fast")] == [1]
+        assert cluster.stored_bytes("slow") == GB
+
+
+class TestAccess:
+    def test_full_file_read_by_default(self, cluster):
+        cluster.add_file(1, "a", 2 * GB, "fast")
+        record = cluster.access(1, t=10.0)
+        assert record.rb == 2 * GB and record.wb == 0
+        assert record.device == "fast" and record.fsid == 0
+
+    def test_timestamps_consistent(self, cluster):
+        cluster.add_file(1, "a", 2 * GB, "fast")
+        record = cluster.access(1, t=10.5)
+        assert record.open_time == pytest.approx(10.5, abs=0.001)
+        assert record.close_time > record.open_time
+
+    def test_throughput_reflects_device_speed(self, cluster):
+        cluster.add_file(1, "a", 2 * GB, "fast")
+        cluster.add_file(2, "b", 2 * GB, "slow")
+        fast_tp = cluster.access(1, t=0.0).throughput
+        slow_tp = cluster.access(2, t=0.0).throughput
+        assert fast_tp > 2 * slow_tp
+
+    def test_explicit_write_access(self, cluster):
+        cluster.add_file(1, "a", 2 * GB, "fast")
+        record = cluster.access(1, t=0.0, wb=GB)
+        assert record.wb == GB and record.rb == 0
+
+    def test_unknown_file_access_raises(self, cluster):
+        with pytest.raises(UnknownFileError):
+            cluster.access(7, t=0.0)
+
+
+class TestMigration:
+    def test_migrate_updates_layout(self, cluster):
+        cluster.add_file(1, "a", GB, "fast")
+        move = cluster.migrate(1, "slow", t=0.0)
+        assert move.src_device == "fast" and move.dst_device == "slow"
+        assert cluster.file(1).device == "slow"
+
+    def test_noop_migration_returns_none(self, cluster):
+        cluster.add_file(1, "a", GB, "fast")
+        assert cluster.migrate(1, "fast", t=0.0) is None
+
+    def test_migration_bottlenecked_by_slowest_leg(self, cluster):
+        cluster.add_file(1, "a", GB, "fast")
+        move = cluster.migrate(1, "slow", t=0.0)
+        # slow write bandwidth (0.5 GB/s) is the bottleneck: 2 s for 1 GB.
+        assert move.duration == pytest.approx(2.0, rel=0.01)
+
+    def test_migration_respects_capacity(self, cluster):
+        cluster.add_file(1, "a", 4 * GB, "slow")
+        cluster.add_file(2, "b", 4 * GB, "fast")
+        with pytest.raises(CapacityError):
+            cluster.migrate(2, "slow", t=0.0)
+
+    def test_migration_crowds_both_devices(self):
+        devices = [
+            make_device("src", 0, crowding_factor=5.0),
+            make_device("dst", 1, crowding_factor=5.0),
+        ]
+        cluster = StorageCluster(devices)
+        cluster.add_file(1, "a", 50 * GB, "src")
+        before_src = cluster.device("src").effective_bandwidth(0.0, is_read=True)
+        before_dst = cluster.device("dst").effective_bandwidth(0.0, is_read=True)
+        cluster.migrate(1, "dst", t=0.0)
+        assert cluster.device("src").effective_bandwidth(1.0, is_read=True) < before_src
+        assert cluster.device("dst").effective_bandwidth(1.0, is_read=True) < before_dst
+
+    def test_apply_layout_moves_only_differences(self, cluster):
+        cluster.add_file(1, "a", GB, "fast")
+        cluster.add_file(2, "b", GB, "slow")
+        moves = cluster.apply_layout({1: "slow", 2: "slow"}, t=0.0)
+        assert len(moves) == 1 and moves[0].fid == 1
+
+    def test_apply_layout_serializes_transfers(self, cluster):
+        cluster.add_file(1, "a", GB, "fast")
+        cluster.add_file(2, "b", GB, "fast")
+        moves = cluster.apply_layout({1: "slow", 2: "slow"}, t=0.0)
+        assert len(moves) == 2
+        assert moves[1].timestamp >= moves[0].timestamp + moves[0].duration
+
+
+class TestAccounting:
+    def test_usage_percent(self, cluster):
+        cluster.add_file(1, "a", GB, "fast")
+        cluster.add_file(2, "b", GB, "slow")
+        for _ in range(3):
+            cluster.access(1, t=0.0)
+        cluster.access(2, t=0.0)
+        usage = cluster.usage_percent()
+        assert usage["fast"] == pytest.approx(75.0)
+        assert usage["slow"] == pytest.approx(25.0)
+
+    def test_usage_percent_empty(self, cluster):
+        assert cluster.usage_percent() == {"fast": 0.0, "slow": 0.0}
+
+    def test_reset_stats(self, cluster):
+        cluster.add_file(1, "a", GB, "fast")
+        cluster.access(1, t=0.0)
+        cluster.reset_stats()
+        assert cluster.usage_percent() == {"fast": 0.0, "slow": 0.0}
+
+
+class TestAvailability:
+    def test_devices_start_available(self, cluster):
+        assert cluster.available_device_names == ["fast", "slow"]
+
+    def test_set_unavailable_excludes_from_candidates(self, cluster):
+        cluster.set_device_available("slow", False)
+        assert cluster.available_device_names == ["fast"]
+
+    def test_add_file_to_unavailable_rejected(self, cluster):
+        from repro.errors import DeviceUnavailableError
+        cluster.set_device_available("slow", False)
+        with pytest.raises(DeviceUnavailableError):
+            cluster.add_file(1, "a", GB, "slow")
+
+    def test_migrate_to_unavailable_rejected(self, cluster):
+        from repro.errors import DeviceUnavailableError
+        cluster.add_file(1, "a", GB, "fast")
+        cluster.set_device_available("slow", False)
+        with pytest.raises(DeviceUnavailableError):
+            cluster.migrate(1, "slow", t=0.0)
+
+    def test_existing_files_still_served(self, cluster):
+        cluster.add_file(1, "a", GB, "slow")
+        cluster.set_device_available("slow", False)
+        record = cluster.access(1, t=0.0)
+        assert record.device == "slow"
+
+    def test_reavailability(self, cluster):
+        cluster.set_device_available("slow", False)
+        cluster.set_device_available("slow", True)
+        cluster.add_file(1, "a", GB, "slow")
+        assert cluster.file(1).device == "slow"
+
+
+class TestIncrementalMigration:
+    def test_moves_file(self, cluster):
+        cluster.add_file(1, "a", GB, "fast")
+        move = cluster.migrate_incremental(1, "slow", t=0.0,
+                                           chunk_bytes=GB // 4)
+        assert cluster.file(1).device == "slow"
+        assert move.bytes_moved == GB
+
+    def test_noop_when_already_there(self, cluster):
+        cluster.add_file(1, "a", GB, "fast")
+        assert cluster.migrate_incremental(
+            1, "fast", t=0.0, chunk_bytes=GB
+        ) is None
+
+    def test_slower_than_bulk_due_to_per_chunk_latency(self):
+        devices = [make_device("src", 0), make_device("dst", 1)]
+        a = StorageCluster(devices,
+                           link=TransferLink(bandwidth_gbps=1.0,
+                                             latency_s=0.05))
+        a.add_file(1, "f", GB, "src")
+        bulk = a.migrate(1, "dst", t=0.0)
+        b = StorageCluster([make_device("src", 0), make_device("dst", 1)],
+                           link=TransferLink(bandwidth_gbps=1.0,
+                                             latency_s=0.05))
+        b.add_file(1, "f", GB, "src")
+        chunked = b.migrate_incremental(1, "dst", t=0.0,
+                                        chunk_bytes=GB // 10)
+        assert chunked.duration > bulk.duration
+
+    def test_spreads_crowding_over_time(self):
+        devices = [
+            make_device("src", 0, crowding_factor=5.0,
+                        utilization_window_s=1.0),
+            make_device("dst", 1, crowding_factor=5.0,
+                        utilization_window_s=1.0),
+        ]
+        cluster = StorageCluster(devices)
+        cluster.add_file(1, "f", 50 * GB, "src")
+        cluster.migrate_incremental(1, "dst", t=0.0, chunk_bytes=GB)
+        # With a 1 s utilization window, early chunks have expired by the
+        # time the migration ends: the destination is not fully crowded.
+        dst = cluster.device("dst")
+        assert dst.utilization(60.0) < 50 * GB / (2.0 * GB * 1.0)
+
+    def test_capacity_checked(self, cluster):
+        cluster.add_file(1, "a", 4 * GB, "slow")
+        cluster.add_file(2, "b", 4 * GB, "fast")
+        with pytest.raises(CapacityError):
+            cluster.migrate_incremental(2, "slow", t=0.0, chunk_bytes=GB)
+
+    def test_availability_checked(self, cluster):
+        from repro.errors import DeviceUnavailableError
+        cluster.add_file(1, "a", GB, "fast")
+        cluster.set_device_available("slow", False)
+        with pytest.raises(DeviceUnavailableError):
+            cluster.migrate_incremental(1, "slow", t=0.0, chunk_bytes=GB)
+
+    def test_invalid_chunk_rejected(self, cluster):
+        cluster.add_file(1, "a", GB, "fast")
+        with pytest.raises(SimulationError):
+            cluster.migrate_incremental(1, "slow", t=0.0, chunk_bytes=0)
+
+
+class TestApplyLayoutFailureModes:
+    def test_strict_apply_raises_on_capacity(self, cluster):
+        cluster.add_file(1, "a", 4 * GB, "slow")
+        cluster.add_file(2, "b", 4 * GB, "fast")
+        with pytest.raises(CapacityError):
+            cluster.apply_layout({2: "slow"}, t=0.0)
+
+    def test_non_strict_skips_unsatisfiable_moves(self, cluster):
+        cluster.add_file(1, "a", 4 * GB, "slow")
+        cluster.add_file(2, "b", 4 * GB, "fast")
+        cluster.add_file(3, "c", GB, "fast")
+        moves = cluster.apply_layout(
+            {2: "slow", 3: "slow"}, t=0.0, strict=False
+        )
+        # File 2 does not fit on slow (4+4 > 5 GB) and is skipped; file 3
+        # fits (4+1 = 5 GB) and moves.
+        assert [m.fid for m in moves] == [3]
+        assert cluster.file(2).device == "fast"
+        assert cluster.file(3).device == "slow"
+
+    def test_non_strict_skips_unavailable_targets(self, cluster):
+        from repro.errors import DeviceUnavailableError  # noqa: F401
+        cluster.add_file(1, "a", GB, "fast")
+        cluster.set_device_available("slow", False)
+        moves = cluster.apply_layout({1: "slow"}, t=0.0, strict=False)
+        assert moves == []
+        assert cluster.file(1).device == "fast"

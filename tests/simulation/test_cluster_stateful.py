@@ -1,0 +1,130 @@
+"""Stateful property tests: the cluster's invariants under random ops.
+
+A hypothesis rule machine drives a StorageCluster with arbitrary sequences
+of add/access/migrate/availability operations and checks the invariants a
+storage system must never violate: every file is on exactly one known
+device, stored bytes never exceed capacity, the layout matches per-device
+file lists, accounting only grows, and unavailable devices take no new
+data.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.errors import (
+    CapacityError,
+    DeviceUnavailableError,
+)
+from repro.simulation.cluster import StorageCluster
+from repro.simulation.device import DeviceSpec, StorageDevice
+from repro.simulation.interference import ConstantLoad
+from repro.simulation.network import TransferLink
+
+GB = 10**9
+DEVICES = ("alpha", "beta", "gamma")
+CAPACITY = 10 * GB
+
+
+def build_cluster():
+    devices = [
+        StorageDevice(
+            DeviceSpec(
+                name=name, fsid=i, read_gbps=1.0 + i, write_gbps=0.5 + i,
+                capacity_bytes=CAPACITY, latency_s=0.002,
+                noise_sigma=0.1, crowding_factor=1.0,
+            ),
+            ConstantLoad(0.0),
+            seed=i,
+        )
+        for i, name in enumerate(DEVICES)
+    ]
+    return StorageCluster(devices, link=TransferLink(1.0, 0.001))
+
+
+class ClusterMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cluster = build_cluster()
+        self.t = 0.0
+        self.next_fid = 0
+        self.total_accesses = 0
+
+    # -- operations ------------------------------------------------------
+    @rule(
+        size=st.integers(1, 3 * GB),
+        device=st.sampled_from(DEVICES),
+    )
+    def add_file(self, size, device):
+        fid = self.next_fid
+        try:
+            self.cluster.add_file(fid, f"f{fid}", size, device)
+            self.next_fid += 1
+        except (CapacityError, DeviceUnavailableError):
+            pass  # legitimate refusals leave state unchanged
+
+    @precondition(lambda self: self.next_fid > 0)
+    @rule(data=st.data())
+    def access(self, data):
+        fid = data.draw(st.integers(0, self.next_fid - 1))
+        record = self.cluster.access(fid, self.t)
+        self.t += record.duration
+        self.total_accesses += 1
+        assert record.device == self.cluster.file(fid).device
+        assert record.throughput > 0
+
+    @precondition(lambda self: self.next_fid > 0)
+    @rule(data=st.data(), dst=st.sampled_from(DEVICES))
+    def migrate(self, data, dst):
+        fid = data.draw(st.integers(0, self.next_fid - 1))
+        try:
+            move = self.cluster.migrate(fid, dst, self.t)
+        except (CapacityError, DeviceUnavailableError):
+            return
+        if move is not None:
+            assert self.cluster.file(fid).device == dst
+            self.t += move.duration
+
+    @rule(device=st.sampled_from(DEVICES), available=st.booleans())
+    def toggle_availability(self, device, available):
+        self.cluster.set_device_available(device, available)
+
+    @rule(dt=st.floats(0.0, 100.0, allow_nan=False))
+    def let_time_pass(self, dt):
+        self.t += dt
+
+    # -- invariants ------------------------------------------------------
+    @invariant()
+    def every_file_on_exactly_one_known_device(self):
+        layout = self.cluster.layout()
+        assert set(layout) == set(range(self.next_fid))
+        assert set(layout.values()) <= set(DEVICES)
+
+    @invariant()
+    def capacity_never_exceeded(self):
+        for device in DEVICES:
+            assert self.cluster.stored_bytes(device) <= CAPACITY
+
+    @invariant()
+    def layout_matches_files_on(self):
+        layout = self.cluster.layout()
+        for device in DEVICES:
+            listed = {f.fid for f in self.cluster.files_on(device)}
+            expected = {f for f, d in layout.items() if d == device}
+            assert listed == expected
+
+    @invariant()
+    def accounting_consistent(self):
+        served = sum(
+            self.cluster.device(name).stats.accesses for name in DEVICES
+        )
+        assert served == self.total_accesses
+        usage = self.cluster.usage_percent()
+        total = sum(usage.values())
+        assert total == 0.0 or abs(total - 100.0) < 1e-6
+
+
+ClusterMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestClusterStateful = ClusterMachine.TestCase

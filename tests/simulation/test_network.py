@@ -1,0 +1,32 @@
+"""Tests for migration transfer links."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.simulation.network import TransferLink
+
+
+class TestTransferLink:
+    def test_default_is_10gbe(self):
+        link = TransferLink()
+        assert link.bandwidth_gbps == pytest.approx(1.25)
+
+    def test_transfer_time(self):
+        link = TransferLink(bandwidth_gbps=1.0, latency_s=0.5)
+        assert link.transfer_time(10**9) == pytest.approx(1.5)
+
+    def test_zero_bytes_costs_latency(self):
+        link = TransferLink(bandwidth_gbps=1.0, latency_s=0.25)
+        assert link.transfer_time(0) == pytest.approx(0.25)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(SimulationError):
+            TransferLink().transfer_time(-1)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            TransferLink(bandwidth_gbps=0.0)
+
+    def test_invalid_latency(self):
+        with pytest.raises(ConfigurationError):
+            TransferLink(latency_s=-1.0)

@@ -1,0 +1,90 @@
+"""Tests for the tiered/homogeneous cluster factories and testbed text."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.bluesky import describe_bluesky
+from repro.simulation.topologies import (
+    make_homogeneous_cluster,
+    make_tiered_cluster,
+)
+
+GB = 10**9
+
+
+class TestTieredCluster:
+    def test_three_tiers(self):
+        cluster = make_tiered_cluster()
+        assert cluster.device_names == ["burst", "disk", "archive"]
+
+    def test_performance_strictly_decreasing(self):
+        cluster = make_tiered_cluster()
+        speeds = [
+            cluster.device(name).spec.read_gbps
+            for name in ("burst", "disk", "archive")
+        ]
+        assert speeds == sorted(speeds, reverse=True)
+
+    def test_capacity_strictly_increasing(self):
+        cluster = make_tiered_cluster()
+        capacities = [
+            cluster.device(name).spec.capacity_bytes
+            for name in ("burst", "disk", "archive")
+        ]
+        assert capacities == sorted(capacities)
+
+    def test_buffer_capacity_configurable(self):
+        cluster = make_tiered_cluster(buffer_capacity_gb=5)
+        assert cluster.device("burst").spec.capacity_bytes == 5 * GB
+
+    def test_small_buffer_forces_spill(self):
+        # The burst buffer cannot hold everything: a placement beyond its
+        # capacity must fail, which is why the tier shape matters.
+        from repro.errors import CapacityError
+
+        cluster = make_tiered_cluster(buffer_capacity_gb=1)
+        cluster.add_file(0, "a", 900_000_000, "burst")
+        with pytest.raises(CapacityError):
+            cluster.add_file(1, "b", 900_000_000, "burst")
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_tiered_cluster(buffer_capacity_gb=0)
+
+
+class TestHomogeneousCluster:
+    def test_device_count(self):
+        cluster = make_homogeneous_cluster(5)
+        assert len(cluster.device_names) == 5
+
+    def test_identical_hardware(self):
+        cluster = make_homogeneous_cluster(4)
+        specs = [cluster.device(n).spec for n in cluster.device_names]
+        assert len({s.read_gbps for s in specs}) == 1
+        assert len({s.capacity_bytes for s in specs}) == 1
+
+    def test_interference_schedules_differ(self):
+        cluster = make_homogeneous_cluster(4, seed=1)
+        patterns = []
+        for name in cluster.device_names:
+            load = cluster.device(name).interference
+            patterns.append(tuple(load.load(t * 90.0) for t in range(30)))
+        assert len(set(patterns)) > 1
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_homogeneous_cluster(1)
+        with pytest.raises(ConfigurationError):
+            make_homogeneous_cluster(3, read_gbps=0)
+        with pytest.raises(ConfigurationError):
+            make_homogeneous_cluster(3, capacity_gb=0)
+
+
+class TestDescribeBluesky:
+    def test_lists_all_mounts(self):
+        text = describe_bluesky()
+        for mount in ("USBtmp", "pic", "tmp", "file0", "var", "people"):
+            assert mount in text
+
+    def test_mentions_fig1(self):
+        assert "Fig. 1" in describe_bluesky()

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if isinstance(a, type(parser._subparsers._group_actions[0]))
+        )
+        commands = set(sub.choices)
+        assert commands == {
+            "fig4", "table1", "table2", "table3",
+            "fig5a", "fig5b", "table4", "fig6", "synth-trace", "testbed",
+            "robustness", "overhead", "model-selection",
+        }
+
+    def test_scale_choices(self):
+        args = build_parser().parse_args(["fig4", "--scale", "paper"])
+        assert args.scale == "paper"
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig4", "--scale", "huge"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_table1_prints_architectures(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Model 23" in out
+
+    def test_fig4_prints_correlations(self, capsys):
+        assert main(["fig4", "--scale", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out and "rb" in out
+
+    def test_synth_trace_writes_file(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.jsonl"
+        assert main(["synth-trace", str(out_path), "--rows", "25"]) == 0
+        assert "wrote 25 records" in capsys.readouterr().out
+        from repro.replaydb.traceio import load_trace_jsonl
+
+        assert len(load_trace_jsonl(out_path)) == 25
+
+    def test_default_seeds_mirror_benchmarks(self):
+        assert build_parser().parse_args(["fig5a"]).seed == 2
+        assert build_parser().parse_args(["fig6"]).seed == 0
+
+
+    def test_testbed_describes_mounts(self, capsys):
+        assert main(["testbed"]) == 0
+        out = capsys.readouterr().out
+        for mount in ("USBtmp", "pic", "tmp", "file0", "var", "people"):
+            assert mount in out

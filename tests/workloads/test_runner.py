@@ -1,0 +1,153 @@
+"""Tests for the workload runner (integration with cluster + ReplayDB)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.replaydb.db import ReplayDB
+from repro.simulation.bluesky import make_bluesky_cluster
+from repro.simulation.clock import SimulationClock
+from repro.workloads.belle2 import Belle2Workload
+from repro.workloads.files import belle2_file_population
+from repro.workloads.interference import make_competing_workload
+from repro.workloads.runner import WorkloadRunner
+
+
+@pytest.fixture
+def setup():
+    cluster = make_bluesky_cluster(seed=0)
+    files = belle2_file_population(seed=0)
+    workload = Belle2Workload(files, seed=1)
+    runner = WorkloadRunner(cluster, workload)
+    names = cluster.device_names
+    layout = {f.fid: names[f.fid % len(names)] for f in files}
+    runner.ensure_files_placed(layout)
+    return cluster, runner
+
+
+class TestPlacement:
+    def test_files_registered(self, setup):
+        cluster, runner = setup
+        assert len(cluster.files) == 24
+
+    def test_missing_layout_entry_raises(self):
+        cluster = make_bluesky_cluster(seed=0)
+        files = belle2_file_population(seed=0)
+        runner = WorkloadRunner(cluster, Belle2Workload(files))
+        with pytest.raises(ConfigurationError, match="missing file"):
+            runner.ensure_files_placed({0: "file0"})
+
+    def test_placement_idempotent(self, setup):
+        cluster, runner = setup
+        runner.ensure_files_placed(cluster.layout())
+        assert len(cluster.files) == 24
+
+
+class TestRunExecution:
+    def test_run_once_produces_records(self, setup):
+        _, runner = setup
+        result = runner.run_once()
+        assert result.run_index == 0
+        assert 4 * 10 <= result.access_count <= 4 * 20
+        assert runner.db.access_count() == result.access_count
+
+    def test_clock_advances(self, setup):
+        _, runner = setup
+        before = runner.clock.now
+        runner.run_once()
+        assert runner.clock.now > before
+
+    def test_run_indices_increment(self, setup):
+        _, runner = setup
+        first = runner.run_once()
+        second = runner.run_once()
+        assert (first.run_index, second.run_index) == (0, 1)
+
+    def test_records_follow_layout(self, setup):
+        cluster, runner = setup
+        result = runner.run_once()
+        layout = cluster.layout()
+        for record in result.records:
+            assert record.device == layout[record.fid]
+
+    def test_mean_throughput_positive(self, setup):
+        _, runner = setup
+        result = runner.run_once()
+        assert result.mean_throughput_gbps > 0.0
+
+    def test_run_many(self, setup):
+        _, runner = setup
+        results = runner.run_many(3)
+        assert [r.run_index for r in results] == [0, 1, 2]
+        assert runner.total_accesses == sum(r.access_count for r in results)
+
+    def test_run_many_negative_rejected(self, setup):
+        _, runner = setup
+        with pytest.raises(ConfigurationError):
+            runner.run_many(-1)
+
+    def test_warm_up_reaches_target(self, setup):
+        _, runner = setup
+        runs = runner.warm_up(200)
+        assert runner.db.access_count() >= 200
+        assert runs >= 1
+
+    def test_warm_up_invalid_target(self, setup):
+        _, runner = setup
+        with pytest.raises(ConfigurationError):
+            runner.warm_up(0)
+
+    def test_negative_think_time_rejected(self, setup):
+        cluster, runner = setup
+        with pytest.raises(ConfigurationError):
+            WorkloadRunner(cluster, runner.workload, think_time_s=-1.0)
+
+
+class TestSharedCluster:
+    def test_two_runners_share_clock_and_contend(self):
+        cluster = make_bluesky_cluster(seed=3)
+        clock = SimulationClock()
+        files_a = belle2_file_population(seed=0)
+        files_b, workload_b = make_competing_workload(seed=9)
+        runner_a = WorkloadRunner(
+            cluster, Belle2Workload(files_a, seed=1), ReplayDB(), clock=clock
+        )
+        runner_b = WorkloadRunner(cluster, workload_b, ReplayDB(), clock=clock)
+        # Both workloads pile onto file0 so they contend there.
+        runner_a.ensure_files_placed({f.fid: "file0" for f in files_a})
+        runner_b.ensure_files_placed({f.fid: "file0" for f in files_b})
+        runner_a.run_once()
+        t_after_a = clock.now
+        runner_b.run_once()
+        assert clock.now > t_after_a
+        # Distinct fid ranges kept both namespaces separate.
+        assert len(cluster.files) == 48
+
+    def test_competing_fids_offset(self):
+        files, workload = make_competing_workload()
+        assert min(f.fid for f in files) >= 1000
+        assert len(files) == 24
+
+
+class TestRunStream:
+    def test_stream_yields_records_incrementally(self, setup):
+        _, runner = setup
+        stream = runner.run_stream()
+        first = next(stream)
+        t_after_first = runner.clock.now
+        second = next(stream)
+        assert second.open_time >= first.close_time
+        assert runner.clock.now > t_after_first
+
+    def test_consuming_stream_equals_run_once(self, setup):
+        _, runner = setup
+        records = list(runner.run_stream())
+        assert runner.total_accesses == len(records)
+        assert runner.next_run_index == 1
+
+    def test_partial_consumption_still_advances_index(self, setup):
+        _, runner = setup
+        stream = runner.run_stream()
+        next(stream)
+        assert runner.next_run_index == 1
+        # The next stream is a fresh run.
+        assert runner.run_once().run_index == 1
