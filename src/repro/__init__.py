@@ -29,12 +29,15 @@ feature pipeline), :mod:`repro.replaydb` (the telemetry store),
 :mod:`repro.simulation` (the storage-cluster substrate),
 :mod:`repro.workloads` (BELLE II / EOS generators), :mod:`repro.policies`
 (baseline placement policies), :mod:`repro.agents` (monitoring/control
-agents), and :mod:`repro.experiments` (the paper's tables and figures).
+agents), :mod:`repro.faults` (deterministic fault injection for chaos
+runs), and :mod:`repro.experiments` (the paper's tables and figures).
 """
 
 from repro.core.config import GeomancyConfig
 from repro.core.engine import DRLEngine, TrainingReport
 from repro.core.geomancy import Geomancy
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
 from repro.replaydb.db import ReplayDB
 from repro.replaydb.records import AccessRecord, MovementRecord
 from repro.simulation.bluesky import make_bluesky_cluster
@@ -52,6 +55,8 @@ __all__ = [
     "DRLEngine",
     "TrainingReport",
     "Geomancy",
+    "FaultInjector",
+    "FaultSchedule",
     "ReplayDB",
     "AccessRecord",
     "MovementRecord",

@@ -4,30 +4,120 @@
 layout to Control Agents ... they do not interfere with the system's
 activities except for instructing the target system to move data in the
 background."
+
+Execution is transactional per file: a migration a fault aborts
+mid-transfer leaves the file on its source device, is recorded as a failed
+:class:`MovementRecord`, and is retried on later commands with exponential
+backoff until a per-file retry cap gives up on it.  Destinations that went
+unavailable between the Action Checker's validation and execution are
+skipped, not fatal.  A :class:`~repro.faults.health.HealthTracker`, when
+attached, hears about every outcome so repeatedly failing devices get
+quarantined upstream.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.agents.messages import LayoutCommand
-from repro.errors import AgentError
+from repro.errors import (
+    AgentError,
+    CapacityError,
+    DeviceUnavailableError,
+    MigrationError,
+    RetryExhaustedError,
+    UnknownFileError,
+)
+from repro.faults.health import HealthTracker
 from repro.replaydb.records import MovementRecord
 from repro.simulation.cluster import StorageCluster
+
+
+@dataclass
+class _RetryState:
+    """A failed move waiting for another attempt."""
+
+    dst: str
+    attempts: int
+    next_eligible_t: float
 
 
 class ControlAgent:
     """Executes layout commands against the target cluster."""
 
-    def __init__(self, cluster: StorageCluster) -> None:
+    def __init__(
+        self,
+        cluster: StorageCluster,
+        *,
+        max_move_retries: int = 3,
+        retry_backoff_s: float = 5.0,
+        health: HealthTracker | None = None,
+    ) -> None:
+        if max_move_retries < 0:
+            raise AgentError(
+                f"max_move_retries must be >= 0, got {max_move_retries}"
+            )
+        if retry_backoff_s <= 0:
+            raise AgentError(
+                f"retry_backoff_s must be positive, got {retry_backoff_s}"
+            )
         self.cluster = cluster
+        self.max_move_retries = int(max_move_retries)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.health = health
         self.commands_executed = 0
         self.files_moved = 0
+        self.moves_failed = 0
+        self.moves_skipped = 0
+        self.moves_retried = 0
+        self._retries: dict[int, _RetryState] = {}
+        #: moves that ran out of retries, kept as data for reporting
+        self.exhausted: list[RetryExhaustedError] = []
 
+    # -- retry bookkeeping -------------------------------------------------
+    @property
+    def pending_retries(self) -> int:
+        return len(self._retries)
+
+    def has_due_retries(self, t: float) -> bool:
+        return any(state.next_eligible_t <= t for state in self._retries.values())
+
+    def _note_failure(self, fid: int, dst: str, t: float) -> None:
+        state = self._retries.get(fid)
+        attempts = state.attempts + 1 if state is not None else 1
+        if attempts > self.max_move_retries:
+            self._retries.pop(fid, None)
+            self.exhausted.append(
+                RetryExhaustedError(
+                    f"gave up moving file {fid} to {dst!r} after "
+                    f"{attempts} attempts",
+                    fid=fid, dst=dst, attempts=attempts,
+                )
+            )
+            return
+        backoff = self.retry_backoff_s * 2 ** (attempts - 1)
+        self._retries[fid] = _RetryState(
+            dst=dst, attempts=attempts, next_eligible_t=t + backoff
+        )
+
+    def _due_retries(self, t: float) -> dict[int, str]:
+        return {
+            fid: state.dst
+            for fid, state in self._retries.items()
+            if state.next_eligible_t <= t
+        }
+
+    # -- execution ---------------------------------------------------------
     def execute(self, command: LayoutCommand) -> list[MovementRecord]:
-        """Apply a layout command; returns the movements performed.
+        """Apply a layout command; returns the movements attempted.
 
         Unknown device targets are rejected wholesale -- the Action Checker
         upstream is responsible for validity, so reaching here with an
         invalid target is a programming error worth surfacing loudly.
+        Everything else is handled per file: aborted transfers roll back
+        and queue a retry, unavailable/full destinations are skipped, and
+        retries from earlier commands ride along once their backoff
+        expires (a fresh target for the same file supersedes its retry).
         """
         valid = set(self.cluster.device_names)
         invalid = {
@@ -37,12 +127,58 @@ class ControlAgent:
             raise AgentError(
                 f"layout command names unknown devices {sorted(invalid)}"
             )
-        # Non-strict application: a device can fill up or stop accepting
-        # placements between the Action Checker's validation and this
-        # execution; such moves are skipped, not fatal.
-        moves = self.cluster.apply_layout(
-            command.layout, command.issued_at, strict=False
-        )
+        work = dict(command.layout)
+        for fid, dst in self._due_retries(command.issued_at).items():
+            if fid not in work:
+                work[fid] = dst
+                self.moves_retried += 1
+        t = command.issued_at
+        records: list[MovementRecord] = []
+        for fid in sorted(work):
+            dst = work[fid]
+            try:
+                move = self.cluster.migrate(fid, dst, t)
+            except MigrationError as exc:
+                failed = MovementRecord(
+                    timestamp=t,
+                    fid=fid,
+                    src_device=exc.src,
+                    dst_device=exc.dst,
+                    bytes_moved=exc.bytes_transferred,
+                    duration=exc.duration,
+                    succeeded=False,
+                )
+                records.append(failed)
+                t += exc.duration
+                self.moves_failed += 1
+                self._note_failure(fid, dst, t)
+                if self.health is not None:
+                    self.health.record_failure(dst, t)
+                continue
+            except (CapacityError, DeviceUnavailableError):
+                # The destination filled up, stopped accepting placements,
+                # or went offline since validation; skip without charging
+                # any transfer, and let health tracking cool it down.
+                self.moves_skipped += 1
+                self._note_failure(fid, dst, t)
+                if self.health is not None:
+                    self.health.record_failure(dst, t)
+                continue
+            except UnknownFileError:
+                # The file vanished from the namespace (e.g. a competing
+                # workload removed it); nothing to move.
+                self.moves_skipped += 1
+                self._retries.pop(fid, None)
+                continue
+            if move is None:
+                # Already in place; a stale retry resolves itself.
+                self._retries.pop(fid, None)
+                continue
+            records.append(move)
+            t += move.duration
+            self.files_moved += 1
+            self._retries.pop(fid, None)
+            if self.health is not None:
+                self.health.record_success(dst)
         self.commands_executed += 1
-        self.files_moved += len(moves)
-        return moves
+        return records

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.agents.messages import LayoutCommand, TelemetryBatch
 from repro.agents.transport import InMemoryTransport
-from repro.errors import AgentError
+from repro.errors import ReplayDBError
 from repro.replaydb.db import ReplayDB
 from repro.replaydb.records import MovementRecord
 
@@ -29,19 +29,27 @@ class InterfaceDaemon:
         self.commands = commands
         self.batches_ingested = 0
         self.records_ingested = 0
+        #: malformed messages counted and dropped instead of crashing the
+        #: drain -- one bad batch must not strand everything queued behind it
+        self.dead_letters = 0
 
     def pump_telemetry(self) -> int:
         """Drain pending telemetry batches into the ReplayDB.
 
-        Returns the number of records stored.
+        Returns the number of records stored.  Messages that are not
+        telemetry batches (or batches the DB rejects) are dead-lettered --
+        counted and discarded -- so the rest of the queue still lands.
         """
         stored = 0
         for message in self.telemetry.receive_all():
             if not isinstance(message, TelemetryBatch):
-                raise AgentError(
-                    f"telemetry channel carried {type(message).__name__}"
-                )
-            self.db.insert_accesses(message.records)
+                self.dead_letters += 1
+                continue
+            try:
+                self.db.insert_accesses(message.records)
+            except ReplayDBError:
+                self.dead_letters += 1
+                continue
             self.batches_ingested += 1
             stored += len(message.records)
         self.records_ingested += stored

@@ -10,6 +10,7 @@
     python -m repro fig5b
     python -m repro table4
     python -m repro fig6
+    python -m repro chaos --seed 7 --schedule kill:file0@40% kill:pic@55%
     python -m repro synth-trace out.jsonl --rows 5000
 
 ``--scale`` picks the experiment sizing: ``test`` (seconds), ``bench``
@@ -87,6 +88,36 @@ def build_parser() -> argparse.ArgumentParser:
     robustness.add_argument(
         "--seeds", type=int, nargs="+", default=[0, 1, 2, 3],
         help="environment seeds to sweep",
+    )
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection run vs. a fault-free twin"
+    )
+    _add_common(chaos, default_seed=7)
+    chaos.add_argument(
+        "--schedule", nargs="+", metavar="SPEC", default=None,
+        help="fault specs, e.g. 'kill:file0@40%%' 'outage:pic@60+30' "
+             "'degrade:tmp@45*0.25' (default: kill file0 and pic mid-run)",
+    )
+    chaos.add_argument(
+        "--migration-failure-rate", type=float, default=0.05,
+        help="probability each file move aborts mid-transfer (default: 0.05)",
+    )
+    chaos.add_argument(
+        "--drop-rate", type=float, default=0.02,
+        help="telemetry batch drop probability (default: 0.02)",
+    )
+    chaos.add_argument(
+        "--delay-rate", type=float, default=0.02,
+        help="telemetry batch delay probability (default: 0.02)",
+    )
+    chaos.add_argument(
+        "--reorder-rate", type=float, default=0.05,
+        help="telemetry drain reorder probability (default: 0.05)",
+    )
+    chaos.add_argument(
+        "--corrupt-rate", type=float, default=0.01,
+        help="telemetry batch corruption probability (default: 0.01)",
     )
 
     overhead = sub.add_parser(
@@ -186,6 +217,23 @@ def _run_robustness(args) -> str:
     ).to_text()
 
 
+def _run_chaos(args) -> str:
+    from repro.experiments.robustness import run_chaos
+
+    return run_chaos(
+        scale=_SCALES[args.scale],
+        seed=args.seed,
+        schedule_specs=(
+            tuple(args.schedule) if args.schedule is not None else None
+        ),
+        migration_failure_rate=args.migration_failure_rate,
+        drop_rate=args.drop_rate,
+        delay_rate=args.delay_rate,
+        reorder_rate=args.reorder_rate,
+        corrupt_rate=args.corrupt_rate,
+    ).to_text()
+
+
 def _run_overhead(args) -> str:
     from repro.experiments.overhead import run_overhead_study
 
@@ -229,6 +277,7 @@ _COMMANDS = {
     "table4": _run_table4,
     "fig6": _run_fig6,
     "robustness": _run_robustness,
+    "chaos": _run_chaos,
     "overhead": _run_overhead,
     "model-selection": _run_model_selection,
     "testbed": _run_testbed,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.faults.schedule import parse_fault_event
 from repro.features.pipeline import DEFAULT_LIVE_FEATURES
 from repro.nn.model_zoo import ARCHITECTURES
 
@@ -59,6 +60,21 @@ class GeomancyConfig:
     #: estimated transfer (the section X future-work gap model,
     #: implemented by repro.core.scheduler.AccessGapScheduler)
     use_gap_scheduler: bool = False
+    #: how many times a failed file move is retried before giving up
+    #: (0 disables retries)
+    max_move_retries: int = 3
+    #: base delay before the first retry; doubles per attempt
+    retry_backoff_s: float = 5.0
+    #: consecutive failed moves toward one device before the circuit
+    #: breaker quarantines it from new placements
+    quarantine_threshold: int = 3
+    #: how long a quarantined device is off-limits before one probe move
+    #: is allowed through again
+    quarantine_duration_s: float = 600.0
+    #: fault-schedule entries for chaos runs, in the spec-string grammar of
+    #: :mod:`repro.faults.schedule` (e.g. "kill:file0@40%"); consumed by
+    #: the chaos harness, ignored by ordinary runs
+    fault_schedule: tuple[str, ...] = ()
     #: modeling target: "throughput" (the paper's live system) or
     #: "latency" (the sensitivity the paper defers to future work)
     target: str = "throughput"
@@ -123,6 +139,27 @@ class GeomancyConfig:
             raise ConfigurationError(
                 f"target must be 'throughput' or 'latency', got {self.target!r}"
             )
+        if self.max_move_retries < 0:
+            raise ConfigurationError(
+                f"max_move_retries must be >= 0, got {self.max_move_retries}"
+            )
+        if self.retry_backoff_s <= 0:
+            raise ConfigurationError(
+                f"retry_backoff_s must be positive, got {self.retry_backoff_s}"
+            )
+        if self.quarantine_threshold < 1:
+            raise ConfigurationError(
+                f"quarantine_threshold must be >= 1, "
+                f"got {self.quarantine_threshold}"
+            )
+        if self.quarantine_duration_s <= 0:
+            raise ConfigurationError(
+                f"quarantine_duration_s must be positive, "
+                f"got {self.quarantine_duration_s}"
+            )
+        for spec in self.fault_schedule:
+            # Raises ConfigurationError on a malformed entry.
+            parse_fault_event(spec)
 
     @property
     def z(self) -> int:

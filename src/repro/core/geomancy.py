@@ -26,6 +26,7 @@ from repro.core.engine import DRLEngine, TrainingReport
 from repro.core.layout import as_layout, cap_moves, layout_diff
 from repro.core.scheduler import AccessGapScheduler, CooldownScheduler
 from repro.errors import AgentError, ConfigurationError
+from repro.faults.health import HealthTracker
 from repro.policies.static import EvenSpreadPolicy
 from repro.replaydb.db import ReplayDB
 from repro.replaydb.records import AccessRecord, MovementRecord
@@ -41,10 +42,16 @@ class StepOutcome:
     trained: bool = False
     training: TrainingReport | None = None
     movements: list[MovementRecord] = field(default_factory=list)
+    #: files rescued off offline devices this cycle
+    rescued_files: int = 0
 
     @property
     def moved_files(self) -> int:
-        return len(self.movements)
+        return sum(1 for move in self.movements if move.succeeded)
+
+    @property
+    def failed_moves(self) -> int:
+        return sum(1 for move in self.movements if not move.succeeded)
 
 
 class Geomancy:
@@ -60,6 +67,7 @@ class Geomancy:
         config: GeomancyConfig | None = None,
         *,
         db: ReplayDB | None = None,
+        telemetry: InMemoryTransport | None = None,
     ) -> None:
         if not files:
             raise ConfigurationError("Geomancy needs a workload file set")
@@ -67,14 +75,27 @@ class Geomancy:
         self.files = list(files)
         self.config = config if config is not None else GeomancyConfig()
         self.db = db if db is not None else ReplayDB()
-        self.telemetry = InMemoryTransport()
+        # The telemetry channel is injectable so chaos runs can swap in a
+        # lossy transport; the command channel stays internal.
+        self.telemetry = (
+            telemetry if telemetry is not None else InMemoryTransport()
+        )
         self.commands = InMemoryTransport()
         self.daemon = InterfaceDaemon(self.db, self.telemetry, self.commands)
         self.monitors = {
             name: MonitoringAgent(name, self.telemetry)
             for name in cluster.device_names
         }
-        self.control = ControlAgent(cluster)
+        self.health = HealthTracker(
+            quarantine_threshold=self.config.quarantine_threshold,
+            quarantine_duration_s=self.config.quarantine_duration_s,
+        )
+        self.control = ControlAgent(
+            cluster,
+            max_move_retries=self.config.max_move_retries,
+            retry_backoff_s=self.config.retry_backoff_s,
+            health=self.health,
+        )
         self.engine = DRLEngine(self.config)
         self.checker = ActionChecker(
             self.config.exploration_rate, seed=self.config.seed
@@ -102,13 +123,20 @@ class Geomancy:
 
     # -- telemetry -----------------------------------------------------------
     def observe(self, record: AccessRecord) -> None:
-        """Route one access through its device's monitoring agent."""
-        try:
-            monitor = self.monitors[record.device]
-        except KeyError:
-            raise AgentError(
-                f"no monitoring agent for device {record.device!r}"
-            ) from None
+        """Route one access through its device's monitoring agent.
+
+        Devices added to the cluster after construction get a monitoring
+        agent lazily, so clusters can grow mid-experiment; telemetry for
+        devices the cluster has never heard of is still rejected.
+        """
+        monitor = self.monitors.get(record.device)
+        if monitor is None:
+            if record.device not in self.cluster.device_names:
+                raise AgentError(
+                    f"no monitoring agent for device {record.device!r}"
+                )
+            monitor = MonitoringAgent(record.device, self.telemetry)
+            self.monitors[record.device] = monitor
         monitor.observe(record)
 
     def observe_run(self, records: list[AccessRecord]) -> None:
@@ -126,17 +154,78 @@ class Geomancy:
         return self.daemon.pump_telemetry()
 
     # -- the decision loop -----------------------------------------------------
+    def _dispatch(self, layout: dict[int, str], t: float) -> list[MovementRecord]:
+        """Push a layout through the daemon/command path and execute it."""
+        self.daemon.send_layout(layout, at=t)
+        command = self.commands.receive()
+        if not isinstance(command, LayoutCommand):
+            raise AgentError(
+                f"command channel carried {type(command).__name__}"
+            )
+        movements = self.control.execute(command)
+        self.daemon.record_movements(movements)
+        return movements
+
+    def _drive_retries(self, outcome: StepOutcome, t: float) -> None:
+        """Give backed-off failed moves another chance this cycle."""
+        if self.control.has_due_retries(t):
+            outcome.movements.extend(self._dispatch({}, t))
+
+    def _rescue_layout(self, available: list[str]) -> dict[int, str]:
+        """Targets for files stranded on offline devices.
+
+        Each stranded file goes to the live device with the most free
+        space (greedily, so one rescue wave cannot overfill a target);
+        rescues share the per-cycle move cap to bound the churn, leaving
+        any remainder for the next cycle.
+        """
+        stranded = self.cluster.files_stranded()
+        if not stranded or not available:
+            return {}
+        free = {
+            name: self.cluster.device(name).spec.capacity_bytes
+            - self.cluster.stored_bytes(name)
+            for name in available
+        }
+        layout: dict[int, str] = {}
+        for info in sorted(stranded, key=lambda i: i.fid):
+            if len(layout) >= self.config.max_files_per_move:
+                break
+            target = min(sorted(free), key=lambda n: (-free[n], n))
+            if free[target] < info.size_bytes:
+                continue
+            layout[info.fid] = target
+            free[target] -= info.size_bytes
+        return layout
+
     def after_run(self, run_index: int, t: float) -> StepOutcome:
         """Consult Geomancy after workload run ``run_index`` finished at ``t``.
 
         Trains + moves only when the cooldown scheduler allows it and
-        enough telemetry has accumulated.
+        enough telemetry has accumulated.  Independent of training, every
+        eligible cycle first rescues files stranded on offline devices and
+        re-attempts failed moves whose retry backoff has expired.
         """
         outcome = StepOutcome(run_index=run_index)
         self.outcomes.append(outcome)
         if not self.scheduler.should_move(run_index):
             return outcome
+        # Only devices currently accepting placements -- and not
+        # quarantined by the health tracker -- are candidates; the Action
+        # Checker is the final filter in case availability changed between
+        # prediction and application (paper section V-H).
+        available = self.health.healthy(
+            self.cluster.available_device_names, t
+        )
+        # Priority re-placement: files stranded on offline mounts are
+        # rescued before (and regardless of) any model-driven layout.
+        rescue = self._rescue_layout(available)
+        if rescue:
+            rescued = self._dispatch(rescue, t)
+            outcome.movements.extend(rescued)
+            outcome.rescued_files = sum(1 for m in rescued if m.succeeded)
         if self.db.access_count() < self.MIN_TRAINING_ACCESSES:
+            self._drive_retries(outcome, t)
             return outcome
         outcome.training = self.engine.train(self.db)
         outcome.trained = True
@@ -147,15 +236,13 @@ class Geomancy:
         ):
             # A diverged or skill-less model's layout would be noise; skip
             # this cycle and let the next retraining try again.
+            self._drive_retries(outcome, t)
             return outcome
-        # Only devices currently accepting placements are candidates; the
-        # Action Checker is the final filter in case availability changed
-        # between prediction and application (paper section V-H).
-        available = self.cluster.available_device_names
         device_by_fsid = {
             self.cluster.device(name).fsid: name for name in available
         }
         if not device_by_fsid:
+            self._drive_retries(outcome, t)
             return outcome
         if (
             self.config.require_ranking_sanity
@@ -163,6 +250,7 @@ class Geomancy:
         ):
             # The model currently ranks devices opposite to what telemetry
             # shows; acting on it would herd files onto the worst mounts.
+            self._drive_retries(outcome, t)
             return outcome
         fids = [spec.fid for spec in self.files]
         proposal, gains = self.engine.propose_layout(
@@ -190,15 +278,9 @@ class Geomancy:
                 )
             ]
         if not changes:
+            self._drive_retries(outcome, t)
             return outcome
-        self.daemon.send_layout(as_layout(changes), at=t)
-        command = self.commands.receive()
-        if not isinstance(command, LayoutCommand):
-            raise AgentError(
-                f"command channel carried {type(command).__name__}"
-            )
-        outcome.movements = self.control.execute(command)
-        self.daemon.record_movements(outcome.movements)
+        outcome.movements.extend(self._dispatch(as_layout(changes), t))
         return outcome
 
     # -- reporting -----------------------------------------------------------

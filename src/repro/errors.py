@@ -65,12 +65,69 @@ class DeviceUnavailableError(SimulationError):
     """
 
 
+class DeviceOfflineError(DeviceUnavailableError):
+    """A device is offline: it serves no accesses and accepts no data.
+
+    Unlike :class:`DeviceUnavailableError` (which only refuses *new*
+    placements), an offline device has disappeared from the system --
+    the fault-injection framework's "kill" events put devices here.
+    """
+
+
+class MigrationError(SimulationError):
+    """A file migration failed partway through the transfer.
+
+    Raised by the cluster when a fault injector aborts a move
+    mid-transfer.  The file stays on (is rolled back to) its source
+    device; the attributes record the traffic wasted before the abort so
+    control agents can account for it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        fid: int,
+        src: str,
+        dst: str,
+        bytes_attempted: int,
+        bytes_transferred: int,
+        duration: float,
+    ) -> None:
+        super().__init__(message)
+        self.fid = fid
+        self.src = src
+        self.dst = dst
+        self.bytes_attempted = bytes_attempted
+        self.bytes_transferred = bytes_transferred
+        self.duration = duration
+
+
 class PolicyError(ReproError):
     """A placement policy produced an invalid layout."""
 
 
 class AgentError(ReproError):
     """A monitoring/control agent or the interface daemon failed."""
+
+
+class TransportError(AgentError):
+    """A message channel lost, corrupted, or refused a message."""
+
+
+class RetryExhaustedError(AgentError):
+    """A file move kept failing until its per-file retry budget ran out.
+
+    The control agent records (rather than raises) these so one doomed
+    file cannot crash the control loop; the engine is left to re-propose
+    a different placement on a later cycle.
+    """
+
+    def __init__(self, message: str, *, fid: int, dst: str, attempts: int) -> None:
+        super().__init__(message)
+        self.fid = fid
+        self.dst = dst
+        self.attempts = attempts
 
 
 class ExperimentError(ReproError):

@@ -1,21 +1,41 @@
-"""Cross-seed robustness of the Fig. 5 comparison.
+"""Robustness studies: cross-seed stability and chaos engineering.
 
 The paper evaluates one live system; our substrate lets the same comparison
-re-run under many random environments.  This experiment repeats Fig. 5a
+re-run under many random environments.  ``run_robustness`` repeats Fig. 5a
 across seeds and reports Geomancy's gain over the best dynamic baseline per
 seed plus summary statistics -- the honest error bars EXPERIMENTS.md quotes.
+
+``run_chaos`` goes further: it runs the BELLE II workload twice with
+identical seeds -- once fault-free, once under a fault schedule (device
+kills/degradations, mid-transfer migration aborts, lossy telemetry) -- and
+reports throughput retention, recovery time after outages, and every
+resilience counter the control plane exposes.  Fault injection draws only
+from seeded generators, so a fixed seed reproduces the byte-identical
+movement history.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.core.geomancy import Geomancy
 from repro.errors import ExperimentError
 from repro.experiments.fig5_comparison import GEOMANCY, run_fig5a
+from repro.experiments.harness import make_experiment_config
 from repro.experiments.reporting import ascii_table
 from repro.experiments.spec import ExperimentScale, TEST_SCALE
+from repro.faults.chaos_transport import ChaosTransport
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import cluster_invariant_violations
+from repro.faults.schedule import FaultSchedule
+from repro.replaydb.db import ReplayDB
+from repro.replaydb.records import MovementRecord
+from repro.simulation.bluesky import make_bluesky_cluster
+from repro.workloads.belle2 import Belle2Workload
+from repro.workloads.files import belle2_file_population
+from repro.workloads.runner import WorkloadRunner
 
 
 @dataclass
@@ -108,3 +128,273 @@ def run_robustness(
             )
         )
     return RobustnessResult(outcomes=outcomes)
+
+
+# -- chaos engineering ---------------------------------------------------
+
+#: kill 2 of the 6 Bluesky mounts partway through the measured phase
+DEFAULT_CHAOS_SCHEDULE: tuple[str, ...] = (
+    "kill:file0@40%",
+    "kill:pic@55%",
+)
+
+
+@dataclass
+class _PhaseStats:
+    """Everything measured while one (baseline or chaos) loop ran."""
+
+    mean_gbps: float
+    duration_s: float
+    end_time: float
+    accesses: int
+    failed_accesses: int
+    movements: list[MovementRecord]
+    rescued_files: int
+    recovery_times: list[float]
+    stranded_at_end: int
+    invariant_violations: list[str]
+
+
+@dataclass
+class ChaosResult:
+    """One chaos run compared against its fault-free twin."""
+
+    seed: int
+    schedule_specs: tuple[str, ...]
+    migration_failure_rate: float
+    baseline_gbps: float
+    chaos_gbps: float
+    baseline_accesses: int
+    chaos_accesses: int
+    failed_accesses: int
+    #: (simulated time, device) per applied outage
+    outages: list[tuple[float, str]]
+    recovery_times: list[float]
+    stranded_at_end: int
+    movements: list[MovementRecord] = field(default_factory=list)
+    rescued_files: int = 0
+    moves_failed: int = 0
+    moves_retried: int = 0
+    retries_exhausted: int = 0
+    dead_letters: int = 0
+    batches_dropped: int = 0
+    batches_delayed: int = 0
+    batches_corrupted: int = 0
+    quarantined_devices: list[str] = field(default_factory=list)
+    invariant_violations: list[str] = field(default_factory=list)
+
+    @property
+    def throughput_retention_percent(self) -> float:
+        """Chaos-run throughput as a share of the fault-free baseline."""
+        if self.baseline_gbps <= 0:
+            raise ExperimentError("baseline measured non-positive throughput")
+        return self.chaos_gbps / self.baseline_gbps * 100.0
+
+    @property
+    def recovery_time_s(self) -> float | None:
+        """Time from the last outage wave until no file was stranded."""
+        return self.recovery_times[-1] if self.recovery_times else None
+
+    def movement_fingerprint(self) -> tuple:
+        """Hashable history for determinism comparisons across runs."""
+        return tuple(
+            (m.timestamp, m.fid, m.src_device, m.dst_device, m.succeeded)
+            for m in self.movements
+        )
+
+    def to_text(self) -> str:
+        rows = [
+            ("baseline GB/s", f"{self.baseline_gbps:.2f}"),
+            ("chaos GB/s", f"{self.chaos_gbps:.2f}"),
+            ("throughput retention",
+             f"{self.throughput_retention_percent:.1f}%"),
+            ("outages injected",
+             ", ".join(f"{d}@{t:.0f}s" for t, d in self.outages) or "none"),
+            ("recovery time",
+             f"{self.recovery_time_s:.1f}s" if self.recovery_time_s is not None
+             else ("n/a" if not self.outages else "not recovered")),
+            ("files still stranded", self.stranded_at_end),
+            ("accesses failed (offline)", self.failed_accesses),
+            ("moves failed mid-transfer", self.moves_failed),
+            ("moves retried", self.moves_retried),
+            ("retries exhausted", self.retries_exhausted),
+            ("files rescued", self.rescued_files),
+            ("telemetry dead-letters", self.dead_letters),
+            ("batches dropped/delayed/corrupted",
+             f"{self.batches_dropped}/{self.batches_delayed}"
+             f"/{self.batches_corrupted}"),
+            ("quarantined devices",
+             ", ".join(self.quarantined_devices) or "none"),
+            ("invariant violations", len(self.invariant_violations)),
+        ]
+        table = ascii_table(
+            ["metric", "value"], rows,
+            title=f"Chaos run (seed {self.seed}, "
+                  f"{self.migration_failure_rate:.0%} migration failures)",
+        )
+        if self.invariant_violations:
+            table += "\nVIOLATIONS:\n" + "\n".join(self.invariant_violations)
+        return table
+
+
+def _run_control_loop(
+    *,
+    scale: ExperimentScale,
+    seed: int,
+    schedule: FaultSchedule | None,
+    migration_failure_rate: float,
+    drop_rate: float,
+    delay_rate: float,
+    reorder_rate: float,
+    corrupt_rate: float,
+    chaos: bool,
+    baseline_duration: float | None = None,
+) -> tuple[_PhaseStats, Geomancy, FaultInjector | None]:
+    """One full warm-up + measured Geomancy loop, optionally under faults.
+
+    Telemetry flows through the monitoring agents and the (possibly lossy)
+    transport rather than straight into the DB, so transport faults have
+    real consequences for what the engine trains on.
+    """
+    cluster = make_bluesky_cluster(seed=seed)
+    files = belle2_file_population(seed=seed)
+    config = make_experiment_config(scale, seed=seed)
+    telemetry = (
+        ChaosTransport(
+            drop_rate=drop_rate, delay_rate=delay_rate,
+            reorder_rate=reorder_rate, corrupt_rate=corrupt_rate,
+            seed=seed,
+        )
+        if chaos
+        else None
+    )
+    geo = Geomancy(cluster, files, config, telemetry=telemetry)
+    geo.place_initial()
+    runner = WorkloadRunner(
+        cluster, Belle2Workload(files, seed=1), ReplayDB(),
+        tolerate_offline=True,
+    )
+    # Warm-up: telemetry lands (through the agents) but is not measured.
+    while geo.db.access_count() < scale.warmup_accesses:
+        geo.observe_run(list(runner.run_stream()))
+
+    injector = None
+    phase_start = runner.clock.now
+    if chaos:
+        resolved = schedule if schedule is not None else FaultSchedule()
+        if resolved.has_fractional_times:
+            # Fractional times ("@40%") refer to the measured phase; the
+            # fault-free twin already measured how long that phase lasts.
+            if baseline_duration is None:
+                raise ExperimentError(
+                    "schedule has fractional times but no baseline "
+                    "duration was provided to resolve them"
+                )
+            resolved = resolved.resolved(baseline_duration)
+        # Schedule times are relative to the start of the measured phase.
+        shifted = FaultSchedule(
+            replace(event, at=event.at + phase_start) for event in resolved
+        )
+        injector = FaultInjector(
+            cluster, shifted,
+            migration_failure_rate=migration_failure_rate, seed=seed,
+        ).install()
+
+    throughput: list[float] = []
+    measured_fail_start = runner.failed_accesses
+    rescued = 0
+    recovery_times: list[float] = []
+    stranded_since: float | None = None
+    violations: list[str] = []
+    for run_number in range(1, scale.runs + 1):
+        for record in runner.run_stream():
+            if injector is not None:
+                injector.advance(runner.clock.now)
+            throughput.append(record.throughput_gbps)
+            geo.observe(record)
+        if injector is not None:
+            injector.advance(runner.clock.now)
+        geo.flush_telemetry(at=runner.clock.now)
+        outcome = geo.after_run(run_number, runner.clock.now)
+        rescued += outcome.rescued_files
+        stranded = len(cluster.files_stranded())
+        if stranded and stranded_since is None:
+            stranded_since = runner.clock.now
+        elif not stranded and stranded_since is not None:
+            recovery_times.append(runner.clock.now - stranded_since)
+            stranded_since = None
+        violations.extend(cluster_invariant_violations(cluster, files))
+    if injector is not None:
+        injector.uninstall()
+    return _PhaseStats(
+        mean_gbps=float(np.mean(throughput)) if throughput else 0.0,
+        duration_s=runner.clock.now - phase_start,
+        end_time=runner.clock.now,
+        accesses=len(throughput),
+        failed_accesses=runner.failed_accesses - measured_fail_start,
+        movements=geo.db.movements(),
+        rescued_files=rescued,
+        recovery_times=recovery_times,
+        stranded_at_end=len(cluster.files_stranded()),
+        invariant_violations=violations,
+    ), geo, injector
+
+
+def run_chaos(
+    *,
+    scale: ExperimentScale = TEST_SCALE,
+    seed: int = 7,
+    schedule_specs: tuple[str, ...] | None = None,
+    migration_failure_rate: float = 0.05,
+    drop_rate: float = 0.02,
+    delay_rate: float = 0.02,
+    reorder_rate: float = 0.05,
+    corrupt_rate: float = 0.01,
+) -> ChaosResult:
+    """Run the Belle II workload fault-free, then under the chaos schedule.
+
+    Both runs share every seed, so the throughput delta is attributable to
+    the injected faults (plus the control plane's recovery work).
+    """
+    specs = (
+        tuple(schedule_specs) if schedule_specs is not None
+        else DEFAULT_CHAOS_SCHEDULE
+    )
+    schedule = FaultSchedule.from_specs(specs) if specs else None
+    baseline, _, _ = _run_control_loop(
+        scale=scale, seed=seed, schedule=None,
+        migration_failure_rate=0.0, drop_rate=0.0, delay_rate=0.0,
+        reorder_rate=0.0, corrupt_rate=0.0, chaos=False,
+    )
+    stats, geo, injector = _run_control_loop(
+        scale=scale, seed=seed, schedule=schedule,
+        migration_failure_rate=migration_failure_rate,
+        drop_rate=drop_rate, delay_rate=delay_rate,
+        reorder_rate=reorder_rate, corrupt_rate=corrupt_rate, chaos=True,
+        baseline_duration=baseline.duration_s,
+    )
+    telemetry = geo.telemetry
+    return ChaosResult(
+        seed=seed,
+        schedule_specs=specs,
+        migration_failure_rate=migration_failure_rate,
+        baseline_gbps=baseline.mean_gbps,
+        chaos_gbps=stats.mean_gbps,
+        baseline_accesses=baseline.accesses,
+        chaos_accesses=stats.accesses,
+        failed_accesses=stats.failed_accesses,
+        outages=list(injector.outage_log) if injector is not None else [],
+        recovery_times=stats.recovery_times,
+        stranded_at_end=stats.stranded_at_end,
+        movements=stats.movements,
+        rescued_files=stats.rescued_files,
+        moves_failed=geo.control.moves_failed,
+        moves_retried=geo.control.moves_retried,
+        retries_exhausted=len(geo.control.exhausted),
+        dead_letters=geo.daemon.dead_letters,
+        batches_dropped=getattr(telemetry, "dropped", 0),
+        batches_delayed=getattr(telemetry, "delayed", 0),
+        batches_corrupted=getattr(telemetry, "corrupted", 0),
+        quarantined_devices=geo.health.quarantined_devices(stats.end_time),
+        invariant_violations=stats.invariant_violations,
+    )

@@ -1,0 +1,96 @@
+"""A lossy, reordering, corrupting transport for chaos runs.
+
+Drop-in replacement for :class:`~repro.agents.transport.InMemoryTransport`
+that makes the telemetry path unreliable the way a real network is: batches
+can be dropped outright, delayed past the next drain, delivered out of
+order, or corrupted into garbage the Interface Daemon must survive.  All
+randomness comes from one seeded generator keyed to the send/drain
+sequence, so a fixed seed reproduces the exact same loss pattern.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.agents.transport import InMemoryTransport
+from repro.errors import TransportError
+
+
+@dataclass(frozen=True)
+class CorruptMessage:
+    """What a mangled message decodes to at the receiver."""
+
+    reason: str = "corrupted in transit"
+
+
+class ChaosTransport(InMemoryTransport):
+    """FIFO channel with seeded drop/delay/reorder/corrupt faults."""
+
+    def __init__(
+        self,
+        latency_s: float = 0.003,
+        *,
+        drop_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        reorder_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(latency_s)
+        for name, rate in (
+            ("drop_rate", drop_rate),
+            ("delay_rate", delay_rate),
+            ("reorder_rate", reorder_rate),
+            ("corrupt_rate", corrupt_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise TransportError(
+                    f"{name} must be in [0, 1], got {rate}"
+                )
+        self.drop_rate = float(drop_rate)
+        self.delay_rate = float(delay_rate)
+        self.reorder_rate = float(reorder_rate)
+        self.corrupt_rate = float(corrupt_rate)
+        self._rng = np.random.default_rng(seed)
+        self._held: deque = deque()
+        self.dropped = 0
+        self.delayed = 0
+        self.reordered_drains = 0
+        self.corrupted = 0
+
+    def send(self, message) -> None:
+        """Send, possibly losing/mangling the message on the way."""
+        # The network charged for the message whether or not it arrives.
+        self.messages_sent += 1
+        self.total_latency_s += self.latency_s
+        if self._rng.random() < self.drop_rate:
+            self.dropped += 1
+            return
+        if self._rng.random() < self.corrupt_rate:
+            self.corrupted += 1
+            message = CorruptMessage()
+        if self._rng.random() < self.delay_rate:
+            # Held back past the next drain, then queued for the one after.
+            self.delayed += 1
+            self._held.append(message)
+            return
+        self._queue.append(message)
+
+    def receive_all(self) -> list:
+        """Drain pending messages, possibly out of order."""
+        drained = super().receive_all()
+        if len(drained) > 1 and self._rng.random() < self.reorder_rate:
+            order = self._rng.permutation(len(drained))
+            drained = [drained[i] for i in order]
+            self.reordered_drains += 1
+        while self._held:
+            self._queue.append(self._held.popleft())
+        return drained
+
+    @property
+    def held(self) -> int:
+        """Messages currently delayed in flight."""
+        return len(self._held)

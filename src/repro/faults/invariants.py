@@ -1,0 +1,62 @@
+"""Cluster safety invariants checked during and after chaos runs.
+
+Whatever faults are injected, the control plane must never lose or
+duplicate a file, overfill a device, or leave the namespace referencing
+devices that do not exist.  These checks are cheap enough to run every
+control cycle; the chaos experiment and the property-style tests both
+assert them after every injected fault sequence.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.simulation.cluster import StorageCluster
+from repro.workloads.files import FileSpec
+
+
+def cluster_invariant_violations(
+    cluster: StorageCluster, files: list[FileSpec]
+) -> list[str]:
+    """Return human-readable descriptions of violated invariants."""
+    violations: list[str] = []
+    layout = cluster.layout()
+    known_devices = set(cluster.device_names)
+
+    # 1. No workload file lost, and none duplicated.  The namespace maps
+    # fid -> one placement, so duplication would show up as a spurious
+    # extra fid; loss as a missing one.
+    expected = [spec.fid for spec in files]
+    if len(set(expected)) != len(expected):
+        violations.append("workload file set contains duplicate fids")
+    for fid in expected:
+        if fid not in layout:
+            violations.append(f"file {fid} lost from the cluster namespace")
+
+    # 2. Every placement names a real device.
+    for fid, device in sorted(layout.items()):
+        if device not in known_devices:
+            violations.append(
+                f"file {fid} placed on unknown device {device!r}"
+            )
+
+    # 3. Stored bytes never exceed any device's capacity.
+    for name in cluster.device_names:
+        stored = cluster.stored_bytes(name)
+        capacity = cluster.device(name).spec.capacity_bytes
+        if stored > capacity:
+            violations.append(
+                f"device {name!r} holds {stored} bytes, over its "
+                f"capacity of {capacity}"
+            )
+    return violations
+
+
+def assert_cluster_invariants(
+    cluster: StorageCluster, files: list[FileSpec]
+) -> None:
+    """Raise :class:`SimulationError` if any invariant is violated."""
+    violations = cluster_invariant_violations(cluster, files)
+    if violations:
+        raise SimulationError(
+            "cluster invariants violated: " + "; ".join(violations)
+        )

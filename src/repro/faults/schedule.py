@@ -1,0 +1,188 @@
+"""Deterministic fault schedules for the simulated cluster.
+
+A :class:`FaultSchedule` is a list of :class:`FaultEvent` entries -- device
+outages (transient or permanent) and bandwidth degradations pinned to
+simulated times.  Schedules can be written programmatically or parsed from
+compact spec strings, the form the ``repro chaos`` CLI accepts::
+
+    kill:file0@120          take file0 offline at t=120 s, permanently
+    outage:pic@60+30        take pic offline at t=60 s for 30 s
+    degrade:tmp@45*0.25     quarter tmp's bandwidth from t=45 s on
+    degrade:var@45*0.5+60   halve var's bandwidth for 60 s
+
+Times may also be written as percentages (``kill:file0@40%``), resolved
+against a baseline run's duration with :meth:`FaultSchedule.resolved` --
+handy because a chaos experiment rarely knows its simulated length upfront.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+from collections.abc import Iterable, Iterator
+
+from repro.errors import ConfigurationError
+
+#: primitive actions a schedule expands into, applied by the injector
+OFFLINE = "offline"
+ONLINE = "online"
+DEGRADE = "degrade"
+RESTORE = "restore"
+
+_SPEC_RE = re.compile(
+    r"^(?P<kind>kill|outage|degrade):(?P<device>[^@]+)@(?P<at>[0-9.]+%?)"
+    r"(?:\*(?P<factor>[0-9.]+))?(?:\+(?P<duration>[0-9.]+))?$"
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``kind`` is ``"outage"`` (device offline) or ``"degrade"`` (bandwidth
+    multiplied by ``factor``); ``duration`` of ``None`` makes the fault
+    permanent; ``at_is_fraction`` marks ``at`` as a share of a baseline
+    run's duration, to be resolved before injection.
+    """
+
+    at: float
+    kind: str
+    device: str
+    duration: float | None = None
+    factor: float = 1.0
+    at_is_fraction: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("outage", "degrade"):
+            raise ConfigurationError(
+                f"fault kind must be 'outage' or 'degrade', got {self.kind!r}"
+            )
+        if self.at < 0:
+            raise ConfigurationError(
+                f"fault time must be non-negative, got {self.at}"
+            )
+        if self.at_is_fraction and self.at > 1.0:
+            raise ConfigurationError(
+                f"fractional fault time must be <= 1, got {self.at}"
+            )
+        if self.duration is not None and self.duration <= 0:
+            raise ConfigurationError(
+                f"fault duration must be positive, got {self.duration}"
+            )
+        if self.kind == "degrade" and not 0.0 < self.factor < 1.0:
+            raise ConfigurationError(
+                f"degrade factor must be in (0, 1), got {self.factor}"
+            )
+        if not self.device:
+            raise ConfigurationError("fault event needs a device name")
+
+
+def parse_fault_event(spec: str) -> FaultEvent:
+    """Parse one spec string (see module docstring for the grammar)."""
+    match = _SPEC_RE.match(spec.strip())
+    if match is None:
+        raise ConfigurationError(
+            f"unparseable fault spec {spec!r}; expected e.g. 'kill:file0@120', "
+            f"'outage:pic@60+30', 'degrade:tmp@45*0.25'"
+        )
+    kind = match.group("kind")
+    at_text = match.group("at")
+    at_is_fraction = at_text.endswith("%")
+    at = float(at_text.rstrip("%")) / (100.0 if at_is_fraction else 1.0)
+    duration = match.group("duration")
+    factor = match.group("factor")
+    if kind == "degrade":
+        if factor is None:
+            raise ConfigurationError(
+                f"degrade spec {spec!r} needs a '*factor' clause"
+            )
+        return FaultEvent(
+            at=at, kind="degrade", device=match.group("device"),
+            factor=float(factor),
+            duration=float(duration) if duration else None,
+            at_is_fraction=at_is_fraction,
+        )
+    if factor is not None:
+        raise ConfigurationError(
+            f"'*factor' only applies to degrade specs, got {spec!r}"
+        )
+    if kind == "kill" and duration is not None:
+        raise ConfigurationError(
+            f"kill is permanent; use 'outage:...+duration' instead of {spec!r}"
+        )
+    return FaultEvent(
+        at=at, kind="outage", device=match.group("device"),
+        duration=float(duration) if duration else None,
+        at_is_fraction=at_is_fraction,
+    )
+
+
+class FaultSchedule:
+    """An ordered collection of fault events."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        self.events: list[FaultEvent] = sorted(events, key=lambda e: e.at)
+
+    @classmethod
+    def from_specs(cls, specs: Iterable[str]) -> "FaultSchedule":
+        return cls(parse_fault_event(spec) for spec in specs)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    @property
+    def has_fractional_times(self) -> bool:
+        return any(e.at_is_fraction for e in self.events)
+
+    def resolved(self, baseline_duration: float) -> "FaultSchedule":
+        """Turn fractional times into simulated seconds."""
+        if baseline_duration <= 0:
+            raise ConfigurationError(
+                f"baseline duration must be positive, got {baseline_duration}"
+            )
+        events = []
+        for event in self.events:
+            if event.at_is_fraction:
+                event = replace(
+                    event, at=event.at * baseline_duration,
+                    at_is_fraction=False,
+                )
+            events.append(event)
+        return FaultSchedule(events)
+
+    def devices(self) -> set[str]:
+        return {event.device for event in self.events}
+
+    def primitives(self) -> list[tuple[float, str, str, float]]:
+        """Expand events into timed primitive actions for the injector.
+
+        Returns ``(time, action, device, factor)`` tuples sorted by time;
+        transient faults contribute both their begin action and the
+        matching recovery (``online``/``restore``) action.
+        """
+        if self.has_fractional_times:
+            raise ConfigurationError(
+                "schedule has unresolved fractional times; call .resolved() "
+                "with the baseline duration first"
+            )
+        actions: list[tuple[float, str, str, float]] = []
+        for event in self.events:
+            if event.kind == "outage":
+                actions.append((event.at, OFFLINE, event.device, 0.0))
+                if event.duration is not None:
+                    actions.append(
+                        (event.at + event.duration, ONLINE, event.device, 0.0)
+                    )
+            else:
+                actions.append(
+                    (event.at, DEGRADE, event.device, event.factor)
+                )
+                if event.duration is not None:
+                    actions.append(
+                        (event.at + event.duration, RESTORE, event.device, 0.0)
+                    )
+        actions.sort(key=lambda a: (a[0], a[2], a[1]))
+        return actions

@@ -40,7 +40,8 @@ CREATE TABLE IF NOT EXISTS movements (
     src_device TEXT    NOT NULL,
     dst_device TEXT    NOT NULL,
     bytes_moved INTEGER NOT NULL,
-    duration   REAL    NOT NULL
+    duration   REAL    NOT NULL,
+    succeeded  INTEGER NOT NULL DEFAULT 1
 );
 CREATE INDEX IF NOT EXISTS idx_movements_ts ON movements(timestamp);
 """
@@ -107,10 +108,11 @@ class ReplayDB:
     def insert_movement(self, record: MovementRecord) -> int:
         cur = self._conn.execute(
             "INSERT INTO movements (timestamp, fid, src_device, dst_device, "
-            "bytes_moved, duration) VALUES (?, ?, ?, ?, ?, ?)",
+            "bytes_moved, duration, succeeded) VALUES (?, ?, ?, ?, ?, ?, ?)",
             (
                 record.timestamp, record.fid, record.src_device,
                 record.dst_device, record.bytes_moved, record.duration,
+                int(record.succeeded),
             ),
         )
         self._conn.commit()
@@ -234,7 +236,11 @@ class ReplayDB:
 
     # -- movement log ------------------------------------------------------
     def movements(
-        self, *, since: float | None = None, until: float | None = None
+        self,
+        *,
+        since: float | None = None,
+        until: float | None = None,
+        succeeded_only: bool = False,
     ) -> list[MovementRecord]:
         clauses, params = [], []
         if since is not None:
@@ -243,13 +249,17 @@ class ReplayDB:
         if until is not None:
             clauses.append("timestamp < ?")
             params.append(until)
+        if succeeded_only:
+            clauses.append("succeeded = 1")
         where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
         rows = self._conn.execute(
             f"SELECT timestamp, fid, src_device, dst_device, bytes_moved, "
-            f"duration FROM movements {where} ORDER BY id ASC",
+            f"duration, succeeded FROM movements {where} ORDER BY id ASC",
             params,
         ).fetchall()
-        return [MovementRecord(*row) for row in rows]
+        return [
+            MovementRecord(*row[:6], succeeded=bool(row[6])) for row in rows
+        ]
 
     def movement_clusters(self, gap: float = 1.0) -> list[tuple[float, int]]:
         """Group movements into bursts separated by more than ``gap`` seconds.
@@ -260,7 +270,7 @@ class ReplayDB:
         if gap <= 0:
             raise ReplayDBError(f"gap must be positive, got {gap}")
         clusters: list[list[float]] = []  # [start, last_seen, count]
-        for move in self.movements():
+        for move in self.movements(succeeded_only=True):
             if clusters and move.timestamp - clusters[-1][1] <= gap:
                 clusters[-1][1] = move.timestamp
                 clusters[-1][2] += 1

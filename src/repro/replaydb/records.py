@@ -83,7 +83,12 @@ class AccessRecord:
 
 @dataclass(frozen=True)
 class MovementRecord:
-    """One file migration commanded by Geomancy (or a baseline policy)."""
+    """One file migration commanded by Geomancy (or a baseline policy).
+
+    ``succeeded`` is False for moves a fault aborted mid-transfer: the
+    file stayed on ``src_device`` and ``bytes_moved``/``duration`` record
+    the traffic wasted before the abort.
+    """
 
     timestamp: float
     fid: int
@@ -91,6 +96,7 @@ class MovementRecord:
     dst_device: str
     bytes_moved: int
     duration: float
+    succeeded: bool = True
 
     def __post_init__(self) -> None:
         if self.bytes_moved < 0:

@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.errors import (
     CapacityError,
+    DeviceOfflineError,
     DeviceUnavailableError,
+    MigrationError,
     SimulationError,
     UnknownDeviceError,
     UnknownFileError,
@@ -59,6 +62,14 @@ class StorageCluster:
         self._by_fsid: dict[int, StorageDevice] = {d.fsid: d for d in devices}
         self.link = link if link is not None else TransferLink()
         self._files: dict[int, FileInfo] = {}
+        #: optional fault hook consulted by :meth:`migrate`.  Called with
+        #: ``(fid, src, dst, t, size_bytes)``; returning a fraction in
+        #: (0, 1] aborts the transfer after that share of the bytes moved
+        #: (the wasted traffic still hits both devices), ``None`` lets the
+        #: migration proceed.  Installed by the fault-injection framework.
+        self.migration_interceptor: (
+            Callable[[int, str, str, float, int], float | None] | None
+        ) = None
 
     # -- device access -----------------------------------------------------
     @property
@@ -85,11 +96,27 @@ class StorageCluster:
                 f"no device with fsid {fsid}; have {self.fsids}"
             ) from None
 
+    def add_device(self, device: StorageDevice) -> None:
+        """Attach a new device to a running cluster (mid-experiment growth)."""
+        if device.name in self._devices:
+            raise SimulationError(f"duplicate device name: {device.name!r}")
+        if device.fsid in self._by_fsid:
+            raise SimulationError(f"duplicate fsid: {device.fsid}")
+        self._devices[device.name] = device
+        self._by_fsid[device.fsid] = device
+
     # -- availability ----------------------------------------------------
     @property
     def available_device_names(self) -> list[str]:
-        """Devices currently accepting new placements."""
-        return [d.name for d in self._devices.values() if d.available]
+        """Devices currently accepting new placements (and reachable)."""
+        return [
+            d.name for d in self._devices.values() if d.available and d.online
+        ]
+
+    @property
+    def online_device_names(self) -> list[str]:
+        """Devices currently reachable (serving accesses)."""
+        return [d.name for d in self._devices.values() if d.online]
 
     def set_device_available(self, name: str, available: bool) -> None:
         """Mark a device (un)available for *new* placements.
@@ -101,8 +128,27 @@ class StorageCluster:
         """
         self.device(name).available = bool(available)
 
+    def set_device_online(self, name: str, online: bool) -> None:
+        """Take a device offline (fault) or bring it back.
+
+        An offline device serves no accesses and accepts no placements;
+        files on it are *stranded* until the control plane rescues them
+        onto live devices (reading through the recovery path).
+        """
+        self.device(name).online = bool(online)
+
+    def files_stranded(self) -> list[FileInfo]:
+        """Files currently placed on offline devices."""
+        return [
+            info for info in self._files.values()
+            if not self._devices[info.device].online
+        ]
+
     def _require_available(self, name: str) -> None:
-        if not self.device(name).available:
+        device = self.device(name)
+        if not device.online:
+            raise DeviceOfflineError(f"device {name!r} is offline")
+        if not device.available:
             raise DeviceUnavailableError(
                 f"device {name!r} is not accepting new placements"
             )
@@ -163,6 +209,10 @@ class StorageCluster:
         if rb == 0 and wb == 0:
             rb = info.size_bytes
         device = self.device(info.device)
+        if not device.online:
+            raise DeviceOfflineError(
+                f"file {fid} is stranded on offline device {info.device!r}"
+            )
         duration = device.perform_access(t, rb, wb)
         ots, otms = timestamp_parts(t)
         cts, ctms = timestamp_parts(t + duration)
@@ -187,6 +237,13 @@ class StorageCluster:
         (read), the destination (write) and the network link; both devices
         absorb the traffic so migrations crowd subsequent accesses -- the
         paper's measurements always "includ[e] moving overhead".
+
+        A file on an *offline* source can still be rescued: the read side
+        falls back to the recovery path at link speed instead of the dead
+        device's bandwidth.  When a :attr:`migration_interceptor` aborts
+        the transfer partway, the file is rolled back to the source, the
+        partial traffic is still charged to both (online) devices, and a
+        :class:`~repro.errors.MigrationError` is raised.
         """
         info = self.file(fid)
         dst_device = self.device(dst)
@@ -195,11 +252,39 @@ class StorageCluster:
         self._require_available(dst)
         self._check_capacity(dst, info.size_bytes)
         src_device = self.device(info.device)
-        read_bw = src_device.effective_bandwidth(t, is_read=True)
+        if src_device.online:
+            read_bw = src_device.effective_bandwidth(t, is_read=True)
+        else:
+            read_bw = self.link.bandwidth_bytes
         write_bw = dst_device.effective_bandwidth(t, is_read=False)
         bottleneck = min(read_bw, write_bw, self.link.bandwidth_bytes)
+        if self.migration_interceptor is not None:
+            fraction = self.migration_interceptor(
+                fid, info.device, dst, t, info.size_bytes
+            )
+            if fraction is not None:
+                if not 0.0 < fraction <= 1.0:
+                    raise SimulationError(
+                        f"abort fraction must be in (0, 1], got {fraction}"
+                    )
+                partial = int(info.size_bytes * fraction)
+                duration = self.link.latency_s + partial / bottleneck
+                if src_device.online:
+                    src_device.absorb_transfer(t, partial, duration)
+                dst_device.absorb_transfer(t, partial, duration)
+                raise MigrationError(
+                    f"migration of file {fid} to {dst!r} aborted after "
+                    f"{partial} of {info.size_bytes} bytes",
+                    fid=fid,
+                    src=info.device,
+                    dst=dst,
+                    bytes_attempted=info.size_bytes,
+                    bytes_transferred=partial,
+                    duration=duration,
+                )
         duration = self.link.latency_s + info.size_bytes / bottleneck
-        src_device.absorb_transfer(t, info.size_bytes, duration)
+        if src_device.online:
+            src_device.absorb_transfer(t, info.size_bytes, duration)
         dst_device.absorb_transfer(t, info.size_bytes, duration)
         move = MovementRecord(
             timestamp=t,
@@ -238,18 +323,45 @@ class StorageCluster:
         self._require_available(dst)
         self._check_capacity(dst, info.size_bytes)
         src_device = self.device(info.device)
+        abort_after = None
+        if self.migration_interceptor is not None:
+            fraction = self.migration_interceptor(
+                fid, info.device, dst, t, info.size_bytes
+            )
+            if fraction is not None:
+                if not 0.0 < fraction <= 1.0:
+                    raise SimulationError(
+                        f"abort fraction must be in (0, 1], got {fraction}"
+                    )
+                abort_after = int(info.size_bytes * fraction)
         remaining = info.size_bytes
         now = t
         while remaining > 0:
             chunk = min(chunk_bytes, remaining)
-            read_bw = src_device.effective_bandwidth(now, is_read=True)
+            if src_device.online:
+                read_bw = src_device.effective_bandwidth(now, is_read=True)
+            else:
+                read_bw = self.link.bandwidth_bytes
             write_bw = dst_device.effective_bandwidth(now, is_read=False)
             bottleneck = min(read_bw, write_bw, self.link.bandwidth_bytes)
             chunk_duration = self.link.latency_s + chunk / bottleneck
-            src_device.absorb_transfer(now, chunk, chunk_duration)
+            if src_device.online:
+                src_device.absorb_transfer(now, chunk, chunk_duration)
             dst_device.absorb_transfer(now, chunk, chunk_duration)
             now += chunk_duration
             remaining -= chunk
+            moved = info.size_bytes - remaining
+            if abort_after is not None and moved >= abort_after:
+                raise MigrationError(
+                    f"migration of file {fid} to {dst!r} aborted after "
+                    f"{moved} of {info.size_bytes} bytes",
+                    fid=fid,
+                    src=info.device,
+                    dst=dst,
+                    bytes_attempted=info.size_bytes,
+                    bytes_transferred=moved,
+                    duration=now - t,
+                )
         move = MovementRecord(
             timestamp=t,
             fid=fid,
@@ -281,6 +393,13 @@ class StorageCluster:
             except (CapacityError, DeviceUnavailableError):
                 if strict:
                     raise
+                continue
+            except MigrationError as exc:
+                # Injected mid-transfer failure: the file stayed on its
+                # source; charge the wasted time and carry on.
+                if strict:
+                    raise
+                t += exc.duration
                 continue
             if move is not None:
                 moves.append(move)

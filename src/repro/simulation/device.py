@@ -133,6 +133,12 @@ class StorageDevice:
         #: whether the device accepts *new* placements; existing data keeps
         #: being served ("permissions or availability changes", paper V-H)
         self.available = True
+        #: whether the device is reachable at all; an offline device serves
+        #: no accesses and accepts no data (fault-injection "kill" events)
+        self.online = True
+        #: bandwidth multiplier in (0, 1] applied by fault-injection
+        #: "degrade" events; 1.0 means healthy
+        self.degradation = 1.0
 
     @property
     def name(self) -> str:
@@ -168,7 +174,7 @@ class StorageDevice:
         base = (self.spec.read_gbps if is_read else self.spec.write_gbps) * GBPS
         ext = min(0.95, self.external_load(t))
         crowd = self.spec.crowding_factor * self.utilization(t)
-        return base * (1.0 - ext) / (1.0 + crowd)
+        return base * self.degradation * (1.0 - ext) / (1.0 + crowd)
 
     # -- service ---------------------------------------------------------
     def service_time(self, t: float, rb: int, wb: int) -> float:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DeviceOfflineError
 from repro.replaydb.db import ReplayDB
 from repro.replaydb.records import AccessRecord
 from repro.simulation.clock import SimulationClock
@@ -51,18 +51,30 @@ class WorkloadRunner:
         *,
         clock: SimulationClock | None = None,
         think_time_s: float = 0.01,
+        tolerate_offline: bool = False,
+        offline_penalty_s: float = 0.05,
     ) -> None:
         if think_time_s < 0:
             raise ConfigurationError(
                 f"think_time_s must be non-negative, got {think_time_s}"
+            )
+        if offline_penalty_s < 0:
+            raise ConfigurationError(
+                f"offline_penalty_s must be non-negative, got {offline_penalty_s}"
             )
         self.cluster = cluster
         self.workload = workload
         self.db = db if db is not None else ReplayDB()
         self.clock = clock if clock is not None else SimulationClock()
         self.think_time_s = float(think_time_s)
+        #: with ``tolerate_offline`` an access to a file stranded on an
+        #: offline device is counted as failed (and charged a timeout)
+        #: instead of raising -- the behaviour chaos runs need
+        self.tolerate_offline = bool(tolerate_offline)
+        self.offline_penalty_s = float(offline_penalty_s)
         self.next_run_index = 0
         self.total_accesses = 0
+        self.failed_accesses = 0
 
     def ensure_files_placed(self, layout: dict[int, str]) -> None:
         """Register workload files that are not yet in the cluster.
@@ -91,9 +103,18 @@ class WorkloadRunner:
         index = self.next_run_index
         self.next_run_index += 1
         for op in self.workload.run(index):
-            record = self.cluster.access(
-                op.fid, self.clock.now, rb=op.rb, wb=op.wb
-            )
+            try:
+                record = self.cluster.access(
+                    op.fid, self.clock.now, rb=op.rb, wb=op.wb
+                )
+            except DeviceOfflineError:
+                if not self.tolerate_offline:
+                    raise
+                # The device timed out under us; charge the wait and
+                # carry on with the rest of the run.
+                self.failed_accesses += 1
+                self.clock.advance(self.offline_penalty_s + self.think_time_s)
+                continue
             self.clock.advance(record.duration + self.think_time_s)
             self.db.insert_access(record)
             self.total_accesses += 1

@@ -159,12 +159,22 @@ class TestInterfaceDaemon:
         assert db.access_count() == 1
         assert daemon.batches_ingested == 1
 
-    def test_pump_rejects_foreign_messages(self):
+    def test_pump_dead_letters_foreign_messages(self):
+        db = ReplayDB()
         telemetry = InMemoryTransport()
-        daemon = InterfaceDaemon(ReplayDB(), telemetry, InMemoryTransport())
+        daemon = InterfaceDaemon(db, telemetry, InMemoryTransport())
         telemetry.send("not a batch")
-        with pytest.raises(AgentError):
-            daemon.pump_telemetry()
+        telemetry.send(
+            TelemetryBatch(device="var", records=(access(),), sent_at=11.0)
+        )
+        telemetry.send(42)
+        # Bad messages are counted and dropped; batches behind them still
+        # land instead of being stranded by a mid-drain exception.
+        stored = daemon.pump_telemetry()
+        assert stored == 1
+        assert db.access_count() == 1
+        assert daemon.dead_letters == 2
+        assert daemon.batches_ingested == 1
 
     def test_send_layout_enqueues_command(self):
         commands = InMemoryTransport()

@@ -40,6 +40,10 @@ class TestValidation:
             {"exploration_rate": 1.5},
             {"cooldown_runs": 0},
             {"max_files_per_move": 0},
+            {"max_move_retries": -1},
+            {"retry_backoff_s": 0.0},
+            {"quarantine_threshold": 0},
+            {"quarantine_duration_s": 0.0},
         ],
     )
     def test_invalid_rejected(self, kwargs):
@@ -62,3 +66,23 @@ class TestExtensionKnobs:
     def test_gap_scheduler_flag(self):
         assert GeomancyConfig(use_gap_scheduler=True).use_gap_scheduler
         assert not GeomancyConfig().use_gap_scheduler
+
+
+class TestResilienceKnobs:
+    def test_defaults(self):
+        config = GeomancyConfig()
+        assert config.max_move_retries == 3
+        assert config.retry_backoff_s == 5.0
+        assert config.quarantine_threshold == 3
+        assert config.fault_schedule == ()
+
+    def test_zero_retries_allowed(self):
+        assert GeomancyConfig(max_move_retries=0).max_move_retries == 0
+
+    def test_fault_schedule_specs_validated(self):
+        config = GeomancyConfig(
+            fault_schedule=("kill:file0@40%", "outage:pic@60+30")
+        )
+        assert len(config.fault_schedule) == 2
+        with pytest.raises(ConfigurationError):
+            GeomancyConfig(fault_schedule=("reboot:file0@10",))

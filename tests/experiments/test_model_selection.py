@@ -5,7 +5,6 @@ import pytest
 from repro.errors import ExperimentError
 from repro.experiments.model_selection import (
     CandidateEvaluation,
-    ModelSelectionResult,
     run_model_selection,
 )
 

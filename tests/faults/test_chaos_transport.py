@@ -1,0 +1,122 @@
+"""Tests for the lossy chaos transport and the daemon surviving it."""
+
+import pytest
+
+from repro.agents.daemon import InterfaceDaemon
+from repro.agents.monitoring import MonitoringAgent
+from repro.agents.transport import InMemoryTransport
+from repro.errors import TransportError
+from repro.faults.chaos_transport import ChaosTransport, CorruptMessage
+from repro.replaydb.db import ReplayDB
+from repro.replaydb.records import AccessRecord
+
+
+def make_record(n=0):
+    return AccessRecord(
+        fid=n, fsid=0, device="a", path=f"f{n}", rb=100, wb=0,
+        ots=n, otms=0, cts=n + 1, ctms=0,
+    )
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"drop_rate": -0.1},
+            {"delay_rate": 1.5},
+            {"reorder_rate": 2.0},
+            {"corrupt_rate": -1.0},
+        ],
+    )
+    def test_rates_out_of_range_rejected(self, kwargs):
+        with pytest.raises(TransportError):
+            ChaosTransport(**kwargs)
+
+
+class TestFaults:
+    def test_no_faults_behaves_like_base_transport(self):
+        transport = ChaosTransport()
+        for n in range(5):
+            transport.send(n)
+        assert transport.receive_all() == [0, 1, 2, 3, 4]
+        assert transport.messages_sent == 5
+        assert (transport.dropped, transport.delayed, transport.corrupted) \
+            == (0, 0, 0)
+
+    def test_certain_drop_loses_everything_but_charges_the_network(self):
+        transport = ChaosTransport(drop_rate=1.0)
+        for n in range(4):
+            transport.send(n)
+        assert transport.receive_all() == []
+        assert transport.dropped == 4
+        assert transport.messages_sent == 4
+
+    def test_delayed_messages_arrive_on_the_next_drain(self):
+        transport = ChaosTransport(delay_rate=1.0)
+        transport.send("late")
+        assert transport.held == 1
+        assert transport.receive_all() == []
+        assert transport.held == 0
+        assert transport.receive_all() == ["late"]
+        assert transport.delayed == 1
+
+    def test_certain_corruption_mangles_every_message(self):
+        transport = ChaosTransport(corrupt_rate=1.0)
+        transport.send("payload")
+        (received,) = transport.receive_all()
+        assert isinstance(received, CorruptMessage)
+        assert transport.corrupted == 1
+
+    def test_certain_reorder_permutes_but_preserves_the_set(self):
+        transport = ChaosTransport(reorder_rate=1.0, seed=0)
+        sent = list(range(20))
+        for n in sent:
+            transport.send(n)
+        drained = transport.receive_all()
+        assert sorted(drained) == sent
+        assert transport.reordered_drains == 1
+
+    def test_single_message_is_never_reordered(self):
+        transport = ChaosTransport(reorder_rate=1.0)
+        transport.send("only")
+        assert transport.receive_all() == ["only"]
+        assert transport.reordered_drains == 0
+
+    def test_fixed_seed_reproduces_the_loss_pattern(self):
+        def survivors(seed):
+            transport = ChaosTransport(
+                drop_rate=0.3, delay_rate=0.2, corrupt_rate=0.1, seed=seed
+            )
+            for n in range(40):
+                transport.send(n)
+            first = transport.receive_all()
+            return first + transport.receive_all()
+
+        assert survivors(5) == survivors(5)
+        assert survivors(5) != survivors(6)
+
+
+class TestDaemonUnderChaos:
+    def test_daemon_dead_letters_corrupted_batches(self):
+        db = ReplayDB()
+        transport = ChaosTransport(corrupt_rate=1.0)
+        daemon = InterfaceDaemon(db, transport, InMemoryTransport())
+        agent = MonitoringAgent("a", transport)
+        agent.observe(make_record())
+        agent.flush(at=2.0)
+        assert daemon.pump_telemetry() == 0
+        assert daemon.dead_letters == 1
+        assert db.access_count() == 0
+
+    def test_daemon_survives_drops_and_keeps_the_rest(self):
+        db = ReplayDB()
+        transport = ChaosTransport(drop_rate=0.5, seed=1)
+        daemon = InterfaceDaemon(db, transport, InMemoryTransport())
+        agent = MonitoringAgent("a", transport)
+        for n in range(10):
+            agent.observe(make_record(n))
+            agent.flush(at=float(n) + 1.5)
+        stored = daemon.pump_telemetry()
+        assert stored == db.access_count()
+        assert 0 < stored < 10
+        assert transport.dropped == 10 - stored

@@ -1,0 +1,129 @@
+"""Tests for the fault injector against a live cluster."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DeviceOfflineError, MigrationError
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
+from repro.simulation.cluster import StorageCluster
+from repro.simulation.device import DeviceSpec, StorageDevice
+from repro.simulation.interference import ConstantLoad
+from repro.simulation.network import TransferLink
+
+GB = 10**9
+
+
+def make_device(name, fsid, read=2.0, write=1.0):
+    spec = DeviceSpec(
+        name=name, fsid=fsid, read_gbps=read, write_gbps=write,
+        capacity_bytes=100 * GB, latency_s=0.002, noise_sigma=0.0,
+        crowding_factor=0.0,
+    )
+    return StorageDevice(spec, ConstantLoad(0.0))
+
+
+@pytest.fixture
+def cluster():
+    cluster = StorageCluster(
+        [make_device("a", 0), make_device("b", 1), make_device("c", 2)],
+        link=TransferLink(bandwidth_gbps=1.0, latency_s=0.0),
+    )
+    cluster.add_file(1, "f1", GB, "a")
+    cluster.add_file(2, "f2", GB, "b")
+    return cluster
+
+
+class TestValidation:
+    def test_unknown_device_in_schedule_rejected(self, cluster):
+        schedule = FaultSchedule.from_specs(["kill:ghost@10"])
+        with pytest.raises(ConfigurationError, match="ghost"):
+            FaultInjector(cluster, schedule)
+
+    def test_bad_failure_rate_rejected(self, cluster):
+        with pytest.raises(ConfigurationError):
+            FaultInjector(cluster, migration_failure_rate=1.5)
+
+
+class TestScheduledFaults:
+    def test_advance_applies_due_actions_once(self, cluster):
+        schedule = FaultSchedule.from_specs(["outage:a@10+20"])
+        injector = FaultInjector(cluster, schedule)
+        assert injector.pending_actions == 2
+        assert injector.advance(5.0) == 0
+        assert cluster.device("a").online
+        assert injector.advance(10.0) == 1
+        assert not cluster.device("a").online
+        # Idempotent: re-advancing past an applied action does nothing.
+        assert injector.advance(15.0) == 0
+        assert injector.advance(30.0) == 1
+        assert cluster.device("a").online
+        assert injector.outages_applied == 1
+        assert injector.recoveries_applied == 1
+        assert injector.outage_log == [(10.0, "a")]
+
+    def test_degrade_and_restore(self, cluster):
+        schedule = FaultSchedule.from_specs(["degrade:b@5*0.25+10"])
+        injector = FaultInjector(cluster, schedule)
+        injector.advance(5.0)
+        assert cluster.device("b").degradation == 0.25
+        injector.advance(15.0)
+        assert cluster.device("b").degradation == 1.0
+        assert injector.degradations_applied == 1
+
+    def test_offline_device_stops_serving(self, cluster):
+        injector = FaultInjector(
+            cluster, FaultSchedule.from_specs(["kill:a@10"])
+        )
+        injector.advance(10.0)
+        with pytest.raises(DeviceOfflineError):
+            cluster.access(1, 11.0)
+        assert cluster.files_stranded()[0].fid == 1
+
+
+class TestMigrationFaults:
+    def test_install_and_uninstall(self, cluster):
+        injector = FaultInjector(cluster, migration_failure_rate=1.0)
+        assert injector.install() is injector
+        assert cluster.migration_interceptor == injector.intercept_migration
+        injector.uninstall()
+        assert cluster.migration_interceptor is None
+
+    def test_uninstall_leaves_foreign_interceptor(self, cluster):
+        def other(fid, src, dst, t, size_bytes):
+            return None
+
+        cluster.migration_interceptor = other
+        FaultInjector(cluster).uninstall()
+        assert cluster.migration_interceptor is other
+
+    def test_certain_failure_aborts_and_rolls_back(self, cluster):
+        FaultInjector(cluster, migration_failure_rate=1.0, seed=3).install()
+        with pytest.raises(MigrationError) as exc_info:
+            cluster.migrate(1, "b", 0.0)
+        exc = exc_info.value
+        assert (exc.fid, exc.src, exc.dst) == (1, "a", "b")
+        assert 0 < exc.bytes_transferred < GB
+        assert exc.duration > 0
+        # Rollback: the file never left its source device.
+        assert cluster.file(1).device == "a"
+        assert cluster.stored_bytes("b") == GB  # only file 2
+
+    def test_zero_rate_never_fails(self, cluster):
+        injector = FaultInjector(cluster, migration_failure_rate=0.0).install()
+        move = cluster.migrate(1, "b", 0.0)
+        assert move is not None and cluster.file(1).device == "b"
+        assert injector.migration_attempts == 1
+        assert injector.migration_faults_injected == 0
+
+    def test_fixed_seed_reproduces_fault_pattern(self, cluster):
+        def pattern(seed):
+            injector = FaultInjector(
+                cluster, migration_failure_rate=0.3, seed=seed
+            )
+            return [
+                injector.intercept_migration(1, "a", "b", 0.0, GB)
+                for _ in range(50)
+            ]
+
+        assert pattern(7) == pattern(7)
+        assert pattern(7) != pattern(8)

@@ -1,0 +1,63 @@
+"""Tests for the chaos-run cluster invariants."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.faults.invariants import (
+    assert_cluster_invariants,
+    cluster_invariant_violations,
+)
+from repro.simulation.cluster import StorageCluster
+from repro.simulation.device import DeviceSpec, StorageDevice
+from repro.simulation.interference import ConstantLoad
+from repro.workloads.files import FileSpec
+
+GB = 10**9
+
+
+def make_cluster():
+    devices = [
+        StorageDevice(
+            DeviceSpec(name=name, fsid=i, read_gbps=1.0, write_gbps=1.0,
+                       capacity_bytes=10 * GB, noise_sigma=0.0),
+            ConstantLoad(0.0),
+        )
+        for i, name in enumerate(["a", "b"])
+    ]
+    return StorageCluster(devices)
+
+
+def test_clean_cluster_has_no_violations():
+    cluster = make_cluster()
+    files = [FileSpec(1, "f1", GB), FileSpec(2, "f2", GB)]
+    cluster.add_file(1, "f1", GB, "a")
+    cluster.add_file(2, "f2", GB, "b")
+    assert cluster_invariant_violations(cluster, files) == []
+    assert_cluster_invariants(cluster, files)  # does not raise
+
+
+def test_missing_file_is_reported_as_lost():
+    cluster = make_cluster()
+    cluster.add_file(1, "f1", GB, "a")
+    files = [FileSpec(1, "f1", GB), FileSpec(2, "f2", GB)]
+    violations = cluster_invariant_violations(cluster, files)
+    assert violations == ["file 2 lost from the cluster namespace"]
+    with pytest.raises(SimulationError, match="lost"):
+        assert_cluster_invariants(cluster, files)
+
+
+def test_duplicate_fids_in_the_spec_are_reported():
+    cluster = make_cluster()
+    cluster.add_file(1, "f1", GB, "a")
+    files = [FileSpec(1, "f1", GB), FileSpec(1, "again", GB)]
+    violations = cluster_invariant_violations(cluster, files)
+    assert any("duplicate" in v for v in violations)
+
+
+def test_offline_devices_still_count_as_known():
+    # An outage must not make the files on the dead device look lost or
+    # misplaced -- they are stranded, which is a recoverable state.
+    cluster = make_cluster()
+    cluster.add_file(1, "f1", GB, "a")
+    cluster.set_device_online("a", False)
+    assert cluster_invariant_violations(cluster, [FileSpec(1, "f1", GB)]) == []

@@ -1,0 +1,116 @@
+"""Tests for fault schedules and the spec-string grammar."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.schedule import (
+    DEGRADE,
+    OFFLINE,
+    ONLINE,
+    RESTORE,
+    FaultEvent,
+    FaultSchedule,
+    parse_fault_event,
+)
+
+
+class TestParsing:
+    def test_kill(self):
+        event = parse_fault_event("kill:file0@120")
+        assert event == FaultEvent(at=120.0, kind="outage", device="file0")
+        assert event.duration is None
+
+    def test_outage_with_duration(self):
+        event = parse_fault_event("outage:pic@60+30")
+        assert event.kind == "outage"
+        assert (event.at, event.duration) == (60.0, 30.0)
+
+    def test_degrade(self):
+        event = parse_fault_event("degrade:tmp@45*0.25")
+        assert event.kind == "degrade"
+        assert (event.at, event.factor, event.duration) == (45.0, 0.25, None)
+
+    def test_degrade_with_duration(self):
+        event = parse_fault_event("degrade:var@45*0.5+60")
+        assert (event.factor, event.duration) == (0.5, 60.0)
+
+    def test_fractional_time(self):
+        event = parse_fault_event("kill:file0@40%")
+        assert event.at == pytest.approx(0.4)
+        assert event.at_is_fraction
+
+    def test_whitespace_tolerated(self):
+        assert parse_fault_event("  kill:a@1  ").device == "a"
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "garbage",
+            "reboot:file0@10",        # unknown kind
+            "kill:file0",             # missing time
+            "kill:file0@10+5",        # kill is permanent
+            "outage:pic@60*0.5",      # factor on an outage
+            "degrade:tmp@45",         # degrade without factor
+            "degrade:tmp@45*1.5",     # factor out of range
+            "kill:file0@150%",        # fraction above 1
+            "kill:@10",               # empty device
+        ],
+    )
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            parse_fault_event(spec)
+
+
+class TestFaultEvent:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(at=-1.0, kind="outage", device="a")
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(at=0.0, kind="outage", device="a", duration=0.0)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(at=0.0, kind="explode", device="a")
+
+
+class TestSchedule:
+    def test_sorted_by_time(self):
+        schedule = FaultSchedule.from_specs(
+            ["kill:b@50", "kill:a@10", "outage:c@30+5"]
+        )
+        assert [e.at for e in schedule] == [10.0, 30.0, 50.0]
+        assert schedule.devices() == {"a", "b", "c"}
+        assert len(schedule) == 3
+
+    def test_resolved_scales_fractions_only(self):
+        schedule = FaultSchedule.from_specs(["kill:a@25%", "kill:b@100"])
+        assert schedule.has_fractional_times
+        resolved = schedule.resolved(200.0)
+        assert not resolved.has_fractional_times
+        assert [e.at for e in resolved] == [50.0, 100.0]
+
+    def test_resolved_rejects_bad_duration(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.from_specs(["kill:a@25%"]).resolved(0.0)
+
+    def test_primitives_expand_transients(self):
+        schedule = FaultSchedule.from_specs(
+            ["outage:a@10+5", "degrade:b@12*0.5+3"]
+        )
+        assert schedule.primitives() == [
+            (10.0, OFFLINE, "a", 0.0),
+            (12.0, DEGRADE, "b", 0.5),
+            (15.0, ONLINE, "a", 0.0),
+            (15.0, RESTORE, "b", 0.0),
+        ]
+
+    def test_primitives_require_resolved_times(self):
+        with pytest.raises(ConfigurationError, match="fractional"):
+            FaultSchedule.from_specs(["kill:a@25%"]).primitives()
+
+    def test_permanent_faults_have_no_recovery(self):
+        schedule = FaultSchedule.from_specs(["kill:a@10", "degrade:b@5*0.5"])
+        actions = [action for _, action, _, _ in schedule.primitives()]
+        assert actions == [DEGRADE, OFFLINE]

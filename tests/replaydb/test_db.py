@@ -145,6 +145,28 @@ class TestMovements:
         assert db.movements() == []
         assert db.movement_clusters() == []
 
+    def test_failed_move_round_trips(self, db):
+        failed = MovementRecord(5.0, 1, "var", "file0", 512, 0.25,
+                                succeeded=False)
+        db.insert_movement(failed)
+        (got,) = db.movements()
+        assert got == failed and not got.succeeded
+
+    def test_succeeded_only_filters_failures(self, db):
+        db.insert_movement(MovementRecord(1.0, 1, "a", "b", 10, 0.1))
+        db.insert_movement(
+            MovementRecord(2.0, 2, "a", "b", 10, 0.1, succeeded=False)
+        )
+        assert len(db.movements()) == 2
+        assert [m.fid for m in db.movements(succeeded_only=True)] == [1]
+
+    def test_clusters_count_only_successful_moves(self, db):
+        db.insert_movement(MovementRecord(1.0, 1, "a", "b", 10, 0.1))
+        db.insert_movement(
+            MovementRecord(1.1, 2, "a", "b", 10, 0.1, succeeded=False)
+        )
+        assert db.movement_clusters(gap=1.0) == [(1.0, 1)]
+
 
 class TestPersistence:
     def test_file_backed_database(self, tmp_path):

@@ -16,8 +16,24 @@ class TestParser:
         assert commands == {
             "fig4", "table1", "table2", "table3",
             "fig5a", "fig5b", "table4", "fig6", "synth-trace", "testbed",
-            "robustness", "overhead", "model-selection",
+            "robustness", "chaos", "overhead", "model-selection",
         }
+
+    def test_chaos_arguments_parse(self):
+        args = build_parser().parse_args([
+            "chaos", "--seed", "3",
+            "--schedule", "kill:file0@40%", "outage:pic@60+30",
+            "--migration-failure-rate", "0.1",
+        ])
+        assert args.seed == 3
+        assert args.schedule == ["kill:file0@40%", "outage:pic@60+30"]
+        assert args.migration_failure_rate == 0.1
+
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.seed == 7
+        assert args.schedule is None
+        assert args.migration_failure_rate == 0.05
 
     def test_scale_choices(self):
         args = build_parser().parse_args(["fig4", "--scale", "paper"])

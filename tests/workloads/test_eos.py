@@ -1,6 +1,5 @@
 """Tests for the EOS trace synthesizer and its planted Fig. 4 structure."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
