@@ -1,0 +1,34 @@
+"""Decision-epoch latency: batched vs. reference, plus the parallel sweep.
+
+Bigger sibling of ``tests/perf/test_decision_perf.py``: a denser file
+population and more repeats, run under pytest-benchmark like the rest of
+the harness.  Writes both the rendered table and ``BENCH_decision.json``
+to ``benchmarks/out/`` so the perf trajectory is inspectable per PR.
+"""
+
+import pathlib
+
+from repro.experiments.decision_bench import (
+    run_decision_benchmark,
+    run_harness_benchmark,
+)
+from repro.experiments.spec import TEST_SCALE
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def test_decision_epoch(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_decision_benchmark,
+        kwargs={"files": 128, "db_rows": 2000, "repeats": 5},
+        rounds=1,
+        iterations=1,
+    )
+    result.harness = run_harness_benchmark(
+        seeds=(0, 1), scale=TEST_SCALE, workers=4
+    )
+    save_result("decision", result.to_text())
+    result.write_json(OUT_DIR / "BENCH_decision.json")
+    assert result.all_equivalent
+    assert result.overall_speedup >= 5.0
+    assert result.harness.results_match

@@ -14,9 +14,11 @@ SCALE = dataclasses.replace(BENCH_SCALE, runs=60)
 
 
 def test_fig5a_robustness(benchmark, save_result):
+    # workers=4: one process per seedx policy chunk; bit-for-bit identical
+    # to the serial sweep (tested in tests/experiments/test_parallel.py).
     result = benchmark.pedantic(
         run_robustness,
-        kwargs={"seeds": (0, 1, 2, 3), "scale": SCALE},
+        kwargs={"seeds": (0, 1, 2, 3), "scale": SCALE, "workers": 4},
         rounds=1,
         iterations=1,
     )

@@ -12,6 +12,12 @@
     python -m repro fig6
     python -m repro chaos --seed 7 --schedule kill:file0@40% kill:pic@55%
     python -m repro synth-trace out.jsonl --rows 5000
+    python -m repro bench --workers 4     # decision + harness benchmarks
+    python -m repro robustness --workers 4 --seeds 0 1 2 3
+
+``--workers N`` (fig5a/fig5b/table2/robustness/bench) spreads the
+experiment's (policy x seed / model) grid over N processes; results are
+bit-for-bit identical to ``--workers 1``, the serial fallback.
 
 ``--scale`` picks the experiment sizing: ``test`` (seconds), ``bench``
 (the defaults the benchmark harness uses, minutes), or ``paper`` (the
@@ -48,6 +54,15 @@ def _add_common(parser: argparse.ArgumentParser, *, default_seed: int) -> None:
     )
 
 
+def _add_workers(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the experiment grid (default: 1, "
+             "the deterministic serial fallback; results are identical "
+             "for any worker count)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -63,15 +78,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     table2 = sub.add_parser("table2", help="23-model comparison")
     _add_common(table2, default_seed=0)
+    _add_workers(table2)
 
     table3 = sub.add_parser("table3", help="model 1 per-mount accuracy")
     _add_common(table3, default_seed=0)
 
     fig5a = sub.add_parser("fig5a", help="dynamic-policy comparison")
     _add_common(fig5a, default_seed=2)
+    _add_workers(fig5a)
 
     fig5b = sub.add_parser("fig5b", help="static-policy comparison")
     _add_common(fig5b, default_seed=2)
+    _add_workers(fig5b)
 
     table4 = sub.add_parser("table4", help="single-mount overhead study")
     _add_common(table4, default_seed=2)
@@ -85,9 +103,31 @@ def build_parser() -> argparse.ArgumentParser:
         "robustness", help="Fig. 5a across several environment seeds"
     )
     _add_common(robustness, default_seed=0)
+    _add_workers(robustness)
     robustness.add_argument(
         "--seeds", type=int, nargs="+", default=[0, 1, 2, 3],
         help="environment seeds to sweep",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="decision-epoch micro-benchmark + parallel harness timing",
+    )
+    _add_common(bench, default_seed=0)
+    _add_workers(bench)
+    bench.add_argument(
+        "--seeds", type=int, nargs="+", default=[0, 1],
+        help="seeds for the serial-vs-parallel sweep (default: 0 1)",
+    )
+    bench.add_argument(
+        "--out", default="BENCH_decision.json",
+        help="where to write the JSON timing record "
+             "(default: BENCH_decision.json)",
+    )
+    bench.add_argument(
+        "--no-harness", action="store_true",
+        help="skip the serial-vs-parallel experiment sweep and only run "
+             "the decision micro-benchmark",
     )
 
     chaos = sub.add_parser(
@@ -158,7 +198,8 @@ def _run_table2(args) -> str:
 
     scale = _SCALES[args.scale]
     rows = run_table2(
-        rows=scale.training_rows, epochs=scale.epochs, seed=args.seed
+        rows=scale.training_rows, epochs=scale.epochs, seed=args.seed,
+        workers=args.workers,
     )
     return table2_text(rows)
 
@@ -176,7 +217,9 @@ def _run_table3(args) -> str:
 def _run_fig5a(args) -> str:
     from repro.experiments.fig5_comparison import run_fig5a
 
-    result = run_fig5a(scale=_SCALES[args.scale], seed=args.seed)
+    result = run_fig5a(
+        scale=_SCALES[args.scale], seed=args.seed, workers=args.workers
+    )
     gains = "\n".join(
         f"Geomancy gain over {name}: {result.gain_percent(name):+.1f}%"
         for name in sorted(result.results)
@@ -188,7 +231,9 @@ def _run_fig5a(args) -> str:
 def _run_fig5b(args) -> str:
     from repro.experiments.fig5_comparison import run_fig5b
 
-    result = run_fig5b(scale=_SCALES[args.scale], seed=args.seed)
+    result = run_fig5b(
+        scale=_SCALES[args.scale], seed=args.seed, workers=args.workers
+    )
     gains = "\n".join(
         f"Geomancy gain over {name}: {result.gain_percent(name):+.1f}%"
         for name in sorted(result.results)
@@ -213,8 +258,26 @@ def _run_robustness(args) -> str:
     from repro.experiments.robustness import run_robustness
 
     return run_robustness(
-        seeds=tuple(args.seeds), scale=_SCALES[args.scale]
+        seeds=tuple(args.seeds), scale=_SCALES[args.scale],
+        workers=args.workers,
     ).to_text()
+
+
+def _run_bench(args) -> str:
+    from repro.experiments.decision_bench import (
+        run_decision_benchmark,
+        run_harness_benchmark,
+    )
+
+    result = run_decision_benchmark(seed=args.seed)
+    if not args.no_harness:
+        result.harness = run_harness_benchmark(
+            seeds=tuple(args.seeds),
+            scale=_SCALES[args.scale],
+            workers=args.workers,
+        )
+    path = result.write_json(args.out)
+    return result.to_text() + f"\nwrote {path}"
 
 
 def _run_chaos(args) -> str:
@@ -277,6 +340,7 @@ _COMMANDS = {
     "table4": _run_table4,
     "fig6": _run_fig6,
     "robustness": _run_robustness,
+    "bench": _run_bench,
     "chaos": _run_chaos,
     "overhead": _run_overhead,
     "model-selection": _run_model_selection,

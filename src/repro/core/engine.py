@@ -50,6 +50,22 @@ def _spearman(a: list[float], b: list[float]) -> float:
     return float((ra * rb).sum() / denom)
 
 
+def _ordered_column_sum(matrix: np.ndarray) -> np.ndarray:
+    """Column sums accumulated row-by-row, in order.
+
+    ``matrix.sum(axis=0)`` uses pairwise summation whose grouping can
+    differ from the reference path's sequential ``total += score``
+    additions by an ulp; accumulating rows in order keeps the batched
+    decision path bit-for-bit equal to the per-file loop.  Blocks are at
+    most ``probe_samples`` rows, so this short loop costs nothing next to
+    the forward passes it replaced.
+    """
+    total = np.zeros(matrix.shape[1], dtype=np.float64)
+    for row in matrix:
+        total += row
+    return total
+
+
 @dataclass
 class TrainingReport:
     """Outcome of one engine (re)training cycle."""
@@ -126,8 +142,7 @@ class DRLEngine:
         # warm-started model must see consistently scaled inputs/targets
         # across cycles (later values beyond the bounds extrapolate
         # linearly, which the normalizer supports).
-        if not self.pipeline.fitted:
-            self.pipeline.fit(records)
+        self.pipeline.ensure_fitted(records)
         x = self.pipeline.transform_features(records)
         y = self.pipeline.transform_target(records)
         if self._recurrent:
@@ -207,6 +222,71 @@ class DRLEngine:
             throughput = self.adjuster.adjust(throughput)
         return dict(zip(fsids, (float(v) for v in throughput)))
 
+    def predict_throughput_matrix(
+        self, bases: list[AccessRecord], fsids: list[int]
+    ) -> np.ndarray:
+        """Predicted throughput for every (base access, location) pair.
+
+        The batched decision-path core: one probe tensor covering all
+        ``len(bases) * len(fsids)`` candidate placements, one forward pass,
+        one vectorized inverse-transform/adjustment.  Returns an array of
+        shape ``(len(bases), len(fsids))`` where entry ``(i, j)`` equals
+        ``predict_location_throughputs(bases[i], fsids)[fsids[j]]`` -- the
+        per-base path survives as the numeric reference, and the
+        equivalence is regression-tested bit-for-bit.
+        """
+        if not self.trained:
+            raise ModelError("engine must be trained before predicting")
+        probe = self.pipeline.build_location_probe_batch(bases, fsids)
+        return self._predict_probe(probe, len(bases), len(fsids))
+
+    def _predict_probe(
+        self, probe: np.ndarray, n_bases: int, n_fsids: int
+    ) -> np.ndarray:
+        """One forward pass + vectorized post-processing over a probe."""
+        predictions = self.model.predict(probe).ravel()
+        throughput = self.pipeline.inverse_transform_target(predictions)
+        if self.config.adjust_predictions:
+            throughput = self.adjuster.adjust(throughput)
+        return throughput.reshape(n_bases, n_fsids)
+
+    def _gather_probe_bases(
+        self, db: ReplayDB, fids: list[int]
+    ) -> tuple[dict[int, tuple[int, int, int]], np.ndarray | None]:
+        """Recent telemetry for the probed files as one raw feature matrix.
+
+        One window-function ReplayDB query replaces the per-file loop.
+        When every feature derives from the numeric access columns the
+        telemetry never materializes AccessRecords at all (columnar fast
+        path); extra-telemetry feature sets fall back to record batches.
+        Returns ``(per_fid, raw)`` where ``per_fid`` maps each probed fid
+        to its ``(start, stop, current_fsid)`` row span into ``raw``.
+        """
+        limit = self.config.probe_samples
+        if self.pipeline.columnar:
+            spans, columns = db.recent_access_columns_per_file(
+                limit, fids=fids
+            )
+            if not spans:
+                return {}, None
+            per_fid = {
+                fid: (start, stop, int(columns["fsid"][stop - 1]))
+                for fid, start, stop in spans
+            }
+            return per_fid, self.pipeline.feature_matrix_from_columns(columns)
+        recent_by_fid = db.recent_accesses_per_file(limit, fids=fids)
+        if not recent_by_fid:
+            return {}, None
+        bases: list[AccessRecord] = []
+        per_fid = {}
+        for fid in sorted(recent_by_fid):
+            recent = recent_by_fid[fid]
+            per_fid[fid] = (
+                len(bases), len(bases) + len(recent), recent[-1].fsid
+            )
+            bases.extend(recent)
+        return per_fid, self.pipeline.feature_matrix(bases)
+
     def ranking_correlation(
         self,
         db: ReplayDB,
@@ -238,17 +318,50 @@ class DRLEngine:
             return 1.0
         fsids = sorted(observed)
         bases = db.recent_accesses(probe_bases)
-        totals = {fsid: 0.0 for fsid in fsids}
-        for base in bases:
-            scores = self.predict_location_throughputs(base, fsids)
-            for fsid in fsids:
-                totals[fsid] += scores[fsid]
-        predicted = [totals[fsid] for fsid in fsids]
+        if bases:
+            # One batched forward pass over every (base, device) probe
+            # instead of a model call per base: correlation checks run
+            # every training cycle, so they ride the same fast path as
+            # propose_layout.
+            matrix = self.predict_throughput_matrix(bases, fsids)
+            predicted = [float(v) for v in _ordered_column_sum(matrix)]
+        else:
+            predicted = [0.0 for _ in fsids]
         if not self._maximize:
             # Latency predictions: smaller is better, so invert for the
             # comparison against observed throughput.
             predicted = [-p for p in predicted]
         return _spearman(predicted, [observed[fsid] for fsid in fsids])
+
+    def _choose_placement(
+        self, scores: dict[int, float], current_fsid: int
+    ) -> tuple[int, float]:
+        """The act/skip rule shared by the batched and reference paths."""
+        if self._maximize:
+            best = max(scores, key=lambda fsid: scores[fsid])
+        else:
+            best = min(scores, key=lambda fsid: scores[fsid])
+        if current_fsid in scores:
+            current_score = scores[current_fsid]
+            gain = (
+                scores[best] - current_score
+                if self._maximize
+                else current_score - scores[best]
+            )
+            # Propose a move only when the model predicts a clear win
+            # at the new location; flat or marginal predictions keep
+            # the file where it is ("it only applies layouts that the
+            # NN predicts will increase throughput performance", VI).
+            threshold = self.config.min_gain_fraction * abs(current_score)
+            if best != current_fsid and gain <= threshold:
+                best = current_fsid
+                gain = 0.0
+        else:
+            # The file's current device is not a candidate (it stopped
+            # accepting placements): moving to the best available
+            # location is always proposed.
+            gain = abs(scores[best])
+        return best, gain
 
     def propose_layout(
         self,
@@ -262,6 +375,57 @@ class DRLEngine:
         each file's predicted throughput improvement over staying put
         (bytes/s), which the move cap uses to prioritise.  Files with no
         telemetry yet are skipped (nothing to probe from).
+
+        Batched decision path: one window-function ReplayDB query fetches
+        every file's recent accesses, one forward pass scores every
+        (file, access, location) probe, and the per-file aggregation
+        reduces the prediction matrix.  Bit-for-bit equivalent to
+        :meth:`propose_layout_reference` (regression-tested), which remains
+        as the readable per-file specification.
+        """
+        if not self.trained:
+            raise ModelError("engine must be trained before predicting")
+        if not device_by_fsid:
+            raise ModelError("no candidate locations supplied")
+        fsids = sorted(device_by_fsid)
+        per_fid, raw = self._gather_probe_bases(db, fids)
+        layout: dict[int, str] = {}
+        gains: dict[int, float] = {}
+        if raw is None:
+            return layout, gains
+        probe = self.pipeline.build_location_probe_from_matrix(raw, fsids)
+        matrix = self._predict_probe(probe, len(raw), len(fsids))
+        for fid in fids:
+            span = per_fid.get(fid)
+            if span is None:
+                continue
+            start, stop, current_fsid = span
+            # Average the per-location scores over several recent accesses:
+            # a single access's features carry noise (burst position,
+            # request size) that would otherwise whipsaw placements.
+            totals = _ordered_column_sum(matrix[start:stop])
+            scores = {
+                fsid: float(total) / (stop - start)
+                for fsid, total in zip(fsids, totals)
+            }
+            best, gain = self._choose_placement(scores, current_fsid)
+            layout[fid] = device_by_fsid[best]
+            gains[fid] = gain
+        return layout, gains
+
+    def propose_layout_reference(
+        self,
+        db: ReplayDB,
+        fids: list[int],
+        device_by_fsid: dict[int, str],
+    ) -> tuple[dict[int, str], dict[int, float]]:
+        """The legacy per-file decision loop, kept as the numeric reference.
+
+        Issues one ReplayDB query and ``probe_samples`` model calls per
+        file -- O(files x probe_samples) forward passes against the batched
+        path's one.  :meth:`propose_layout` must match this bit-for-bit;
+        the equivalence test and the decision-epoch micro-benchmark both
+        run the two side by side.
         """
         if not device_by_fsid:
             raise ModelError("no candidate locations supplied")
@@ -272,40 +436,15 @@ class DRLEngine:
             recent = db.recent_accesses(self.config.probe_samples, fid=fid)
             if not recent:
                 continue
-            # Average the per-location scores over several recent accesses:
-            # a single access's features carry noise (burst position,
-            # request size) that would otherwise whipsaw placements.
             totals = {fsid: 0.0 for fsid in fsids}
             for base in recent:
                 scores = self.predict_location_throughputs(base, fsids)
                 for fsid in fsids:
                     totals[fsid] += scores[fsid]
-            scores = {fsid: total / len(recent) for fsid, total in totals.items()}
-            if self._maximize:
-                best = max(scores, key=lambda fsid: scores[fsid])
-            else:
-                best = min(scores, key=lambda fsid: scores[fsid])
-            current_fsid = recent[-1].fsid
-            if current_fsid in scores:
-                current_score = scores[current_fsid]
-                gain = (
-                    scores[best] - current_score
-                    if self._maximize
-                    else current_score - scores[best]
-                )
-                # Propose a move only when the model predicts a clear win
-                # at the new location; flat or marginal predictions keep
-                # the file where it is ("it only applies layouts that the
-                # NN predicts will increase throughput performance", VI).
-                threshold = self.config.min_gain_fraction * abs(current_score)
-                if best != current_fsid and gain <= threshold:
-                    best = current_fsid
-                    gain = 0.0
-            else:
-                # The file's current device is not a candidate (it stopped
-                # accepting placements): moving to the best available
-                # location is always proposed.
-                gain = abs(scores[best])
+            scores = {
+                fsid: total / len(recent) for fsid, total in totals.items()
+            }
+            best, gain = self._choose_placement(scores, recent[-1].fsid)
             layout[fid] = device_by_fsid[best]
             gains[fid] = gain
         return layout, gains

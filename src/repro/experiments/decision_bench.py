@@ -1,0 +1,303 @@
+"""Decision-epoch micro-benchmark: batched vs. reference decision path.
+
+The paper's Table IV argues Geomancy is viable because its decision
+latency stays small next to the workload it steers.  This module measures
+exactly that quantity for our engine -- the wall-clock cost of one
+``propose_layout`` epoch over a synthetic telemetry population -- for both
+the batched path and the per-file reference path, verifies the two agree,
+and (optionally) times the serial vs. parallel experiment harness.  The
+result serializes to ``BENCH_decision.json`` so successive PRs accumulate
+a perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import GeomancyConfig
+from repro.core.engine import DRLEngine
+from repro.errors import ExperimentError
+from repro.experiments.reporting import ascii_table
+from repro.experiments.spec import ExperimentScale, TEST_SCALE
+from repro.replaydb.db import ReplayDB
+from repro.replaydb.records import AccessRecord
+
+
+def synthetic_decision_records(
+    *,
+    rows: int = 1000,
+    files: int = 64,
+    locations: int = 6,
+    seed: int = 0,
+) -> list[AccessRecord]:
+    """A seeded telemetry population with a real location signal.
+
+    Throughput scales linearly with the fsid (location k sustains about
+    ``k * 50 MB/s``) plus noise, so a trained engine has an actual ranking
+    to recover and the act/skip threshold sees realistic gain magnitudes.
+    """
+    rng = np.random.default_rng(seed)
+    records = []
+    t = 1_600_000_000
+    for _ in range(rows):
+        fid = int(rng.integers(0, files))
+        fsid = int(rng.integers(1, locations + 1))
+        rb = int(rng.integers(1 << 18, 1 << 22))
+        wb = int(rng.integers(0, 1 << 20))
+        base = 50e6 * fsid
+        duration = (rb + wb) / (base * (1 + 0.05 * rng.standard_normal()))
+        duration = max(duration, 1e-4)
+        t += 2
+        records.append(
+            AccessRecord(
+                fid=fid, fsid=fsid, device=f"dev{fsid}", path=f"/f{fid}",
+                rb=rb, wb=wb, ots=t, otms=0,
+                cts=t + int(duration),
+                ctms=max(1, int((duration % 1) * 1000)),
+            )
+        )
+    return records
+
+
+@dataclass
+class DecisionCell:
+    """Batched-vs-reference measurement for one Table-I architecture."""
+
+    model_number: int
+    files: int
+    probe_samples: int
+    locations: int
+    db_rows: int
+    batched_ms: float
+    reference_ms: float
+    layouts_match: bool
+    max_gain_delta: float
+
+    @property
+    def speedup(self) -> float:
+        if self.batched_ms <= 0:
+            raise ExperimentError("batched path measured non-positive time")
+        return self.reference_ms / self.batched_ms
+
+
+@dataclass
+class HarnessBench:
+    """Serial vs. parallel Fig. 5a sweep timing."""
+
+    seeds: tuple[int, ...]
+    scale: str
+    workers: int
+    serial_s: float
+    parallel_s: float
+    results_match: bool
+
+    @property
+    def speedup(self) -> float:
+        if self.parallel_s <= 0:
+            raise ExperimentError("parallel sweep measured non-positive time")
+        return self.serial_s / self.parallel_s
+
+
+@dataclass
+class DecisionBenchResult:
+    """Everything ``repro bench`` measures, JSON- and table-renderable."""
+
+    cells: list[DecisionCell]
+    harness: HarnessBench | None = None
+
+    @property
+    def min_speedup(self) -> float:
+        if not self.cells:
+            raise ExperimentError("no decision cells were measured")
+        return min(cell.speedup for cell in self.cells)
+
+    @property
+    def overall_speedup(self) -> float:
+        """Aggregate epoch speedup: total reference time / total batched.
+
+        The headline number -- what one full decision sweep over every
+        benchmarked architecture costs on each path.
+        """
+        if not self.cells:
+            raise ExperimentError("no decision cells were measured")
+        batched = sum(cell.batched_ms for cell in self.cells)
+        if batched <= 0:
+            raise ExperimentError("batched path measured non-positive time")
+        return sum(cell.reference_ms for cell in self.cells) / batched
+
+    @property
+    def all_equivalent(self) -> bool:
+        return all(cell.layouts_match for cell in self.cells)
+
+    def to_json(self) -> dict:
+        out = {
+            "benchmark": "decision-epoch",
+            "overall_speedup": self.overall_speedup,
+            "cells": [
+                {**asdict(cell), "speedup": cell.speedup}
+                for cell in self.cells
+            ],
+        }
+        if self.harness is not None:
+            out["harness"] = {
+                **asdict(self.harness),
+                "seeds": list(self.harness.seeds),
+                "speedup": self.harness.speedup,
+            }
+        return out
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json(), indent=2) + "\n")
+        return path
+
+    def to_text(self) -> str:
+        rows = [
+            (
+                cell.model_number,
+                f"{cell.batched_ms:.2f}",
+                f"{cell.reference_ms:.2f}",
+                f"{cell.speedup:.1f}x",
+                "yes" if cell.layouts_match else "NO",
+                f"{cell.max_gain_delta:.2e}",
+            )
+            for cell in self.cells
+        ]
+        table = ascii_table(
+            ["model", "batched ms", "reference ms", "speedup",
+             "layouts match", "max gain delta (B/s)"],
+            rows,
+            title="Decision-epoch micro-benchmark "
+                  f"({self.cells[0].files} files x "
+                  f"{self.cells[0].probe_samples} probes x "
+                  f"{self.cells[0].locations} locations)",
+        )
+        table += f"\noverall speedup: {self.overall_speedup:.1f}x"
+        if self.harness is not None:
+            h = self.harness
+            table += (
+                f"\nFig. 5a sweep (seeds {list(h.seeds)}, {h.scale} scale): "
+                f"serial {h.serial_s:.1f}s, parallel x{h.workers} "
+                f"{h.parallel_s:.1f}s ({h.speedup:.1f}x), results "
+                + ("identical" if h.results_match else "DIFFER")
+            )
+        return table
+
+
+def _time_calls(fn, *, repeats: int) -> float:
+    """Best-of-``repeats`` wall time in milliseconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0
+
+
+def run_decision_benchmark(
+    *,
+    model_numbers: tuple[int, ...] = (1, 14),
+    files: int = 64,
+    db_rows: int = 1000,
+    locations: int = 6,
+    probe_samples: int = 8,
+    repeats: int = 5,
+    seed: int = 0,
+) -> DecisionBenchResult:
+    """Time one decision epoch, batched vs. reference, per architecture.
+
+    Also checks the equivalence contract on the exact benchmark inputs:
+    identical layouts, and per-file gains within one BLAS ulp (different
+    matmul batch heights may legally differ in the last bit).
+    """
+    records = synthetic_decision_records(
+        rows=db_rows, files=files, locations=locations, seed=seed
+    )
+    cells = []
+    for model_number in model_numbers:
+        config = GeomancyConfig(
+            model_number=model_number,
+            epochs=10,
+            training_rows=db_rows,
+            batch_size=32,
+            smoothing_window=5,
+            learning_rate=0.05,
+            seed=seed + 1,
+            probe_samples=probe_samples,
+        )
+        db = ReplayDB()
+        db.insert_accesses(records)
+        engine = DRLEngine(config)
+        engine.train(db)
+        fids = db.files()
+        device_by_fsid = {k: f"dev{k}" for k in range(1, locations + 1)}
+
+        layout_b, gains_b = engine.propose_layout(db, fids, device_by_fsid)
+        layout_r, gains_r = engine.propose_layout_reference(
+            db, fids, device_by_fsid
+        )
+        max_delta = max(
+            (abs(gains_b[fid] - gains_r[fid]) for fid in gains_r),
+            default=0.0,
+        )
+        batched_ms = _time_calls(
+            lambda: engine.propose_layout(db, fids, device_by_fsid),
+            repeats=repeats,
+        )
+        reference_ms = _time_calls(
+            lambda: engine.propose_layout_reference(db, fids, device_by_fsid),
+            repeats=repeats,
+        )
+        cells.append(
+            DecisionCell(
+                model_number=model_number,
+                files=files,
+                probe_samples=probe_samples,
+                locations=locations,
+                db_rows=db_rows,
+                batched_ms=batched_ms,
+                reference_ms=reference_ms,
+                layouts_match=(
+                    layout_b == layout_r and gains_b.keys() == gains_r.keys()
+                ),
+                max_gain_delta=float(max_delta),
+            )
+        )
+    return DecisionBenchResult(cells=cells)
+
+
+def run_harness_benchmark(
+    *,
+    seeds: tuple[int, ...] = (0, 1),
+    scale: ExperimentScale = TEST_SCALE,
+    workers: int = 2,
+) -> HarnessBench:
+    """Serial vs. parallel robustness sweep over ``seeds``.
+
+    Runs the same (policy x seed) grid both ways and confirms the merged
+    results are identical -- the parallel harness's determinism contract,
+    measured rather than assumed.
+    """
+    from repro.experiments import parallel
+    from repro.experiments.robustness import run_robustness
+
+    start = time.perf_counter()
+    serial = run_robustness(seeds=seeds, scale=scale)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    par = parallel.run_robustness(seeds=seeds, scale=scale, workers=workers)
+    parallel_s = time.perf_counter() - start
+    return HarnessBench(
+        seeds=tuple(seeds),
+        scale=scale.name,
+        workers=workers,
+        serial_s=serial_s,
+        parallel_s=parallel_s,
+        results_match=serial == par,
+    )

@@ -115,10 +115,20 @@ def _geomancy_device_map(seed: int) -> dict[int, str]:
 
 
 def run_fig5a(
-    *, scale: ExperimentScale = TEST_SCALE, seed: int = 0
+    *, scale: ExperimentScale = TEST_SCALE, seed: int = 0, workers: int = 1
 ) -> Fig5Result:
     """Experiment 1, dynamic policies: LRU / MRU / LFU / random dynamic
-    versus Geomancy dynamic."""
+    versus Geomancy dynamic.
+
+    ``workers > 1`` farms each policy out to its own process via
+    :mod:`repro.experiments.parallel`; the merged result is bit-for-bit
+    identical to the serial loop (every cell is a pure function of the
+    seeds).
+    """
+    if workers > 1:
+        from repro.experiments import parallel
+
+        return parallel.run_fig5a(scale=scale, seed=seed, workers=workers)
     device_by_fsid = _geomancy_device_map(seed)
     policies = [
         LRUPolicy(),
@@ -164,10 +174,17 @@ def collect_random_dynamic_telemetry(
 
 
 def run_fig5b(
-    *, scale: ExperimentScale = TEST_SCALE, seed: int = 0
+    *, scale: ExperimentScale = TEST_SCALE, seed: int = 0, workers: int = 1
 ) -> Fig5Result:
     """Experiment 1, static policies: random static / even spread /
-    Geomancy static versus Geomancy dynamic."""
+    Geomancy static versus Geomancy dynamic.
+
+    ``workers > 1`` parallelizes over policies (see :func:`run_fig5a`).
+    """
+    if workers > 1:
+        from repro.experiments import parallel
+
+        return parallel.run_fig5b(scale=scale, seed=seed, workers=workers)
     device_by_fsid = _geomancy_device_map(seed)
     warmup_db = collect_random_dynamic_telemetry(scale=scale, seed=seed)
     policies = [

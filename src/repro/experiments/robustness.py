@@ -111,10 +111,22 @@ def run_robustness(
     *,
     seeds: tuple[int, ...] = (0, 1, 2, 3),
     scale: ExperimentScale = TEST_SCALE,
+    workers: int = 1,
 ) -> RobustnessResult:
-    """Repeat Fig. 5a for each seed."""
+    """Repeat Fig. 5a for each seed.
+
+    ``workers > 1`` spreads the (policy x seed) grid across processes via
+    :mod:`repro.experiments.parallel`; merging is seed-deterministic, so
+    the result equals the serial sweep bit-for-bit.
+    """
     if not seeds:
         raise ExperimentError("need at least one seed")
+    if workers > 1:
+        from repro.experiments import parallel
+
+        return parallel.run_robustness(
+            seeds=seeds, scale=scale, workers=workers
+        )
     outcomes = []
     for seed in seeds:
         result = run_fig5a(scale=scale, seed=seed)

@@ -117,10 +117,23 @@ def run_table2(
     seed: int = 0,
     model_numbers: tuple[int, ...] = MODEL_NUMBERS,
     records: list[AccessRecord] | None = None,
+    workers: int = 1,
 ) -> list[Table2Row]:
-    """Regenerate Table II (optionally for a subset of models)."""
+    """Regenerate Table II (optionally for a subset of models).
+
+    ``workers > 1`` trains each architecture in its own process via
+    :mod:`repro.experiments.parallel` (accuracy columns are deterministic;
+    only wall-clock timings differ from a serial run).
+    """
     if records is None:
         records = collect_mount_telemetry("people", rows, seed=seed)
+    if workers > 1:
+        from repro.experiments import parallel
+
+        return parallel.run_table2(
+            epochs=epochs, seed=seed, model_numbers=model_numbers,
+            records=records, workers=workers,
+        )
     return [
         evaluate_model(number, records, epochs=epochs, seed=seed)
         for number in model_numbers

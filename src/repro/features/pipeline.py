@@ -54,6 +54,50 @@ _ACCESSORS: dict[str, Callable[["AccessRecord"], float]] = {
 }
 
 
+#: Vectorized builders for the columnar probe path: feature name -> array
+#: expression over the numeric column arrays served by
+#: ``ReplayDB.recent_access_columns_per_file``.  Each mirrors its
+#: ``_ACCESSORS`` twin operation-for-operation so the columnar and
+#: record-based paths produce bit-identical matrices.
+_COLUMN_BUILDERS: dict[str, Callable[[dict[str, np.ndarray]], np.ndarray]] = {
+    "rb": lambda c: c["rb"],
+    "wb": lambda c: c["wb"],
+    "ots": lambda c: c["ots"],
+    "otms": lambda c: c["otms"],
+    "cts": lambda c: c["cts"],
+    "ctms": lambda c: c["ctms"],
+    "open_time": lambda c: c["ots"] + c["otms"] / 1000.0,
+    "close_time": lambda c: c["cts"] + c["ctms"] / 1000.0,
+    "duration": lambda c: (c["cts"] + c["ctms"] / 1000.0)
+    - (c["ots"] + c["otms"] / 1000.0),
+    "fid": lambda c: c["fid"],
+    "fsid": lambda c: c["fsid"],
+    "total_bytes": lambda c: c["rb"] + c["wb"],
+}
+
+
+def _extra_accessor(name: str) -> Callable[["AccessRecord"], float]:
+    """Accessor for telemetry living in a record's ``extra`` dict."""
+
+    def accessor(record: "AccessRecord") -> float:
+        try:
+            return float(record.extra[name])
+        except KeyError:
+            known = ", ".join(sorted(_ACCESSORS))
+            raise FeatureError(
+                f"feature {name!r} is neither a built-in column ({known}) "
+                "nor present in every record's extra telemetry"
+            ) from None
+
+    return accessor
+
+
+def resolve_accessor(name: str) -> Callable[["AccessRecord"], float]:
+    """Value extractor for a feature name (built-in column or ``extra``)."""
+    accessor = _ACCESSORS.get(name)
+    return accessor if accessor is not None else _extra_accessor(name)
+
+
 def record_column(records: "Sequence[AccessRecord]", name: str) -> np.ndarray:
     """Extract one feature column from a record list.
 
@@ -104,6 +148,12 @@ class FeaturePipeline:
         self.target = target
         self._x_norm = MinMaxNormalizer()
         self._y_norm = MinMaxNormalizer()
+        # Column accessors are resolved once here instead of per
+        # feature_matrix call: the decision path extracts features for
+        # every probed access each epoch, and the per-call dict lookups
+        # plus one full pass over the records per column dominated it.
+        self._accessors = tuple(resolve_accessor(name) for name in features)
+        self._fitted_features: tuple[str, ...] | None = None
 
     @property
     def z(self) -> int:
@@ -114,14 +164,51 @@ class FeaturePipeline:
     def fitted(self) -> bool:
         return self._x_norm.fitted and self._y_norm.fitted
 
+    @property
+    def columnar(self) -> bool:
+        """Whether every feature derives from the numeric access columns.
+
+        True for the live (and Table) feature sets; False once an
+        ``extra``-dict feature (EOS ``rt``/``wt``/...) is configured, in
+        which case the engine falls back to record-based probe batches.
+        """
+        return all(name in _COLUMN_BUILDERS for name in self.features)
+
     # -- raw extraction ----------------------------------------------------
     def feature_matrix(self, records: "Sequence[AccessRecord]") -> np.ndarray:
-        """Raw (unnormalized) feature matrix, one row per record."""
+        """Raw (unnormalized) feature matrix, one row per record.
+
+        Built in a single pass over the records using the accessors cached
+        at construction time (one pass per *column* otherwise).
+        """
         if not records:
             raise FeatureError("no records supplied")
-        return np.column_stack(
-            [record_column(records, name) for name in self.features]
+        return np.array(
+            [[accessor(r) for accessor in self._accessors] for r in records],
+            dtype=np.float64,
         )
+
+    def feature_matrix_from_columns(
+        self, columns: dict[str, np.ndarray]
+    ) -> np.ndarray:
+        """Raw feature matrix straight from columnar telemetry arrays.
+
+        The no-record fast path: consumes the flat arrays returned by
+        ``ReplayDB.recent_access_columns_per_file`` and evaluates each
+        feature as one vectorized expression.  Bit-identical to
+        ``feature_matrix`` over the corresponding AccessRecords.
+        """
+        if not columns:
+            raise FeatureError("no columns supplied")
+        try:
+            return np.column_stack(
+                [_COLUMN_BUILDERS[name](columns) for name in self.features]
+            )
+        except KeyError as exc:
+            raise FeatureError(
+                f"feature {exc.args[0]!r} is not derivable from columnar "
+                "telemetry; use the record-based path"
+            ) from None
 
     def target_vector(self, records: "Sequence[AccessRecord]") -> np.ndarray:
         """Raw throughput targets in bytes/s, smoothed with a moving average.
@@ -161,6 +248,20 @@ class FeaturePipeline:
     def fit(self, records: "Sequence[AccessRecord]") -> "FeaturePipeline":
         self._x_norm.fit(self.feature_matrix(records))
         self._y_norm.fit(self.target_vector(records))
+        self._fitted_features = self.features
+        return self
+
+    def ensure_fitted(self, records: "Sequence[AccessRecord]") -> "FeaturePipeline":
+        """Fit normalization bounds once, then keep them frozen.
+
+        Retrain cycles call this instead of ``fit``: as long as the feature
+        schema is unchanged the learned bounds are reused, so a warm-started
+        model keeps seeing consistently scaled inputs and the per-cycle
+        fit cost disappears.  A schema change (different feature tuple)
+        forces a refit because the column bounds no longer line up.
+        """
+        if not self.fitted or self._fitted_features != self.features:
+            self.fit(records)
         return self
 
     def transform_features(self, records: "Sequence[AccessRecord]") -> np.ndarray:
@@ -206,6 +307,50 @@ class FeaturePipeline:
         probe = np.repeat(raw, len(fsids), axis=0)
         fsid_col = self.features.index("fsid")
         probe[:, fsid_col] = np.asarray(fsids, dtype=np.float64)
+        return self._x_norm.transform(probe)
+
+    def build_location_probe_batch(
+        self, bases: "Sequence[AccessRecord]", fsids: Sequence[int]
+    ) -> np.ndarray:
+        """The whole decision epoch's probe tensor in one array.
+
+        Row ``i * len(fsids) + j`` replicates ``bases[i]``'s features with
+        the ``fsid`` column set to ``fsids[j]`` -- the batched equivalent
+        of ``build_location_probe`` called once per base.  Building every
+        (access, candidate location) probe up front lets the engine run a
+        single forward pass and a single inverse transform per decision
+        epoch instead of one per access, which is what keeps decision
+        latency small relative to the workload (paper Table IV).
+        """
+        if not bases:
+            raise FeatureError("no base records supplied")
+        return self.build_location_probe_from_matrix(
+            self.feature_matrix(bases), fsids
+        )
+
+    def build_location_probe_from_matrix(
+        self, raw: np.ndarray, fsids: Sequence[int]
+    ) -> np.ndarray:
+        """Probe tensor from an already-extracted raw feature matrix.
+
+        Shared tail of the record-based and columnar batch builders: each
+        of the ``len(raw)`` base rows is replicated once per candidate
+        location with only the ``fsid`` column varying, then the whole
+        tensor is normalized in one shot.
+        """
+        self._require_fitted()
+        if not fsids:
+            raise FeatureError("no candidate locations supplied")
+        if "fsid" not in self.features:
+            raise FeatureError(
+                "per-location probing varies the 'fsid' column (paper "
+                "section V-C); include it in the feature set"
+            )
+        probe = np.repeat(raw, len(fsids), axis=0)
+        fsid_col = self.features.index("fsid")
+        probe[:, fsid_col] = np.tile(
+            np.asarray(fsids, dtype=np.float64), len(raw)
+        )
         return self._x_norm.transform(probe)
 
     def _require_fitted(self) -> None:

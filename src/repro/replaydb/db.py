@@ -12,8 +12,15 @@ import json
 import sqlite3
 from collections.abc import Iterable
 
+import numpy as np
+
 from repro.errors import ReplayDBError
 from repro.replaydb.records import AccessRecord, MovementRecord
+
+#: numeric access fields served by the columnar probe query, in SELECT order
+PROBE_FIELDS: tuple[str, ...] = (
+    "fid", "fsid", "rb", "wb", "ots", "otms", "cts", "ctms",
+)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS accesses (
@@ -160,11 +167,109 @@ class ReplayDB:
 
         This is the paper's training-batch request: "All requests for data
         contain the X most recent accesses for each of the storage devices."
+        One window-function query (riding ``idx_accesses_device``) replaces
+        the former one-query-per-device loop; devices are keyed in sorted
+        order with each device's records chronological, exactly as before.
         """
-        return {
-            device: self.recent_accesses(limit, device=device)
-            for device in self.devices()
+        if limit <= 0:
+            raise ReplayDBError(f"limit must be positive, got {limit}")
+        rows = self._conn.execute(
+            "SELECT * FROM ("
+            "  SELECT a.*, ROW_NUMBER() OVER "
+            "    (PARTITION BY device ORDER BY id DESC) AS rn"
+            "  FROM accesses AS a"
+            ") WHERE rn <= ? ORDER BY device ASC, id ASC",
+            (limit,),
+        ).fetchall()
+        out: dict[str, list[AccessRecord]] = {}
+        for row in rows:
+            out.setdefault(row[3], []).append(self._to_record(row))
+        return out
+
+    def recent_accesses_per_file(
+        self, limit: int, fids: Iterable[int] | None = None
+    ) -> dict[int, list[AccessRecord]]:
+        """Most recent ``limit`` accesses for each file, in one query.
+
+        The batched decision path's telemetry request: instead of issuing
+        one ``recent_accesses(fid=...)`` query per probed file, a single
+        window-function scan (riding ``idx_accesses_fid``) ranks every
+        file's accesses newest-first and keeps the top ``limit`` per file.
+        Each file's list is chronological; files without telemetry are
+        absent from the result (the engine skips them).  ``fids`` narrows
+        the scan to the given ids.
+        """
+        if limit <= 0:
+            raise ReplayDBError(f"limit must be positive, got {limit}")
+        where, params = "", []
+        if fids is not None:
+            wanted = sorted(set(fids))
+            if not wanted:
+                return {}
+            placeholders = ", ".join("?" for _ in wanted)
+            where = f"WHERE fid IN ({placeholders})"
+            params = wanted
+        rows = self._conn.execute(
+            "SELECT * FROM ("
+            "  SELECT a.*, ROW_NUMBER() OVER "
+            "    (PARTITION BY fid ORDER BY id DESC) AS rn"
+            f"  FROM accesses AS a {where}"
+            ") WHERE rn <= ? ORDER BY fid ASC, id ASC",
+            (*params, limit),
+        ).fetchall()
+        out: dict[int, list[AccessRecord]] = {}
+        for row in rows:
+            out.setdefault(int(row[1]), []).append(self._to_record(row))
+        return out
+
+    def recent_access_columns_per_file(
+        self, limit: int, fids: Iterable[int] | None = None
+    ) -> tuple[list[tuple[int, int, int]], dict[str, np.ndarray]]:
+        """Columnar variant of :meth:`recent_accesses_per_file`.
+
+        The decision path only consumes the numeric access fields, so this
+        skips AccessRecord materialization entirely (no JSON decode, no
+        dataclass validation) and returns flat float64 arrays ready for
+        the feature pipeline.  Returns ``(spans, columns)`` where
+        ``spans`` lists ``(fid, start, stop)`` row ranges in fid-ascending
+        order (each file's rows chronological) and ``columns`` maps every
+        :data:`PROBE_FIELDS` name to one array over all rows.
+        """
+        if limit <= 0:
+            raise ReplayDBError(f"limit must be positive, got {limit}")
+        where, params = "", []
+        if fids is not None:
+            wanted = sorted(set(fids))
+            if not wanted:
+                return [], {}
+            placeholders = ", ".join("?" for _ in wanted)
+            where = f"WHERE fid IN ({placeholders})"
+            params = wanted
+        fields = ", ".join(PROBE_FIELDS)
+        rows = self._conn.execute(
+            f"SELECT {fields} FROM ("
+            f"  SELECT id, {fields}, ROW_NUMBER() OVER "
+            "    (PARTITION BY fid ORDER BY id DESC) AS rn"
+            f"  FROM accesses {where}"
+            ") WHERE rn <= ? ORDER BY fid ASC, id ASC",
+            (*params, limit),
+        ).fetchall()
+        if not rows:
+            return [], {}
+        data = np.array(rows, dtype=np.float64)
+        columns = {
+            name: data[:, i] for i, name in enumerate(PROBE_FIELDS)
         }
+        fid_col = data[:, 0]
+        starts = np.concatenate(
+            ([0], np.flatnonzero(np.diff(fid_col)) + 1)
+        )
+        stops = np.concatenate((starts[1:], [len(fid_col)]))
+        spans = [
+            (int(fid_col[start]), int(start), int(stop))
+            for start, stop in zip(starts, stops)
+        ]
+        return spans, columns
 
     def devices(self) -> list[str]:
         """Distinct device names present in the access log."""

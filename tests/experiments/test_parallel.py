@@ -1,0 +1,90 @@
+"""Parallel experiment harness: determinism and fallback behavior.
+
+The contract under test: running an experiment grid across processes and
+merging in submission order is *bit-for-bit* identical to the serial
+loop, for any worker count, because every cell rebuilds its whole world
+from seeds.  Equality below is dataclass equality over float lists -- no
+tolerances.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import parallel
+from repro.experiments.fig5_comparison import run_fig5a
+from repro.experiments.robustness import run_robustness
+from repro.experiments.spec import ExperimentScale
+
+TINY = ExperimentScale(
+    name="tiny",
+    warmup_accesses=150,
+    runs=6,
+    update_every=3,
+    training_rows=150,
+    epochs=3,
+    trace_rows=1000,
+)
+
+
+class TestRunCells:
+    def test_serial_fallback_is_plain_loop(self):
+        got = parallel.run_cells(_square, [1, 2, 3], workers=1)
+        assert got == [1, 4, 9]
+
+    def test_order_preserved_across_processes(self):
+        got = parallel.run_cells(_square, list(range(8)), workers=4)
+        assert got == [n * n for n in range(8)]
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ExperimentError):
+            parallel.run_cells(_square, [1], workers=0)
+
+    def test_single_cell_skips_pool(self):
+        assert parallel.run_cells(_square, [5], workers=8) == [25]
+
+
+def _square(n: int) -> int:
+    return n * n
+
+
+class TestParallelMatchesSerial:
+    def test_fig5a_bit_for_bit(self):
+        serial = run_fig5a(scale=TINY, seed=2)
+        par = parallel.run_fig5a(scale=TINY, seed=2, workers=2)
+        assert serial == par
+
+    def test_workers_one_is_deterministic_fallback(self):
+        serial = run_fig5a(scale=TINY, seed=2)
+        fallback = run_fig5a(scale=TINY, seed=2, workers=1)
+        assert serial == fallback
+
+    def test_robustness_bit_for_bit(self):
+        serial = run_robustness(seeds=(0, 1), scale=TINY)
+        par = run_robustness(seeds=(0, 1), scale=TINY, workers=2)
+        assert serial == par
+
+    def test_robustness_empty_seeds_rejected(self):
+        with pytest.raises(ExperimentError):
+            parallel.run_robustness(seeds=(), scale=TINY, workers=2)
+
+    def test_table2_accuracy_columns_deterministic(self):
+        from repro.experiments.table2_comparison import (
+            collect_mount_telemetry,
+            run_table2,
+        )
+
+        records = collect_mount_telemetry("people", 150, seed=0)
+        serial = run_table2(records=records, epochs=2, model_numbers=(1, 2))
+        par = run_table2(
+            records=records, epochs=2, model_numbers=(1, 2), workers=2
+        )
+        for s, p in zip(serial, par):
+            # Wall-clock columns differ across processes by design; every
+            # deterministic column must agree exactly.
+            assert (s.model_number, s.diverged, s.mare, s.mare_std) == (
+                p.model_number, p.diverged, p.mare, p.mare_std
+            )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ExperimentError):
+            parallel._build_policy("no such policy", TINY, 0)

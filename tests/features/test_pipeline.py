@@ -164,6 +164,102 @@ class TestLocationProbe:
             FeaturePipeline().build_location_probe(records[0], [0, 1])
 
 
+class TestBatchedProbe:
+    def test_batch_stacks_per_base_probes(self, records):
+        """The batched tensor is bitwise the per-base probes, stacked."""
+        pipeline = FeaturePipeline()
+        pipeline.fit(records)
+        bases = records[:7]
+        fsids = [0, 1, 2]
+        batch = pipeline.build_location_probe_batch(bases, fsids)
+        assert batch.shape == (len(bases) * len(fsids), pipeline.z)
+        expected = np.vstack(
+            [pipeline.build_location_probe(base, fsids) for base in bases]
+        )
+        assert np.array_equal(batch, expected)
+
+    def test_empty_bases_raise(self, records):
+        pipeline = FeaturePipeline()
+        pipeline.fit(records)
+        with pytest.raises(FeatureError):
+            pipeline.build_location_probe_batch([], [0, 1])
+
+    def test_empty_candidates_raise(self, records):
+        pipeline = FeaturePipeline()
+        pipeline.fit(records)
+        with pytest.raises(FeatureError):
+            pipeline.build_location_probe_batch(records[:2], [])
+
+    def test_fsid_feature_required(self, records):
+        pipeline = FeaturePipeline(features=("rb", "wb"))
+        pipeline.fit(records)
+        with pytest.raises(FeatureError, match="fsid"):
+            pipeline.build_location_probe_batch(records[:2], [0, 1])
+
+
+class TestColumnarFeatures:
+    def _columns(self, records):
+        from repro.replaydb.db import PROBE_FIELDS
+
+        return {
+            name: np.array(
+                [float(getattr(r, name)) for r in records], dtype=np.float64
+            )
+            for name in PROBE_FIELDS
+        }
+
+    def test_columnar_property(self):
+        assert FeaturePipeline().columnar
+        assert FeaturePipeline(
+            features=("rb", "duration", "total_bytes", "fsid")
+        ).columnar
+        assert not FeaturePipeline(features=("rb", "fsid", "rt")).columnar
+
+    def test_matrix_from_columns_matches_records(self, records):
+        """Every derivable feature set: columnar == record path, bitwise."""
+        for features in (
+            DEFAULT_LIVE_FEATURES,
+            ("rb", "wb", "ots", "otms", "cts", "ctms"),
+            ("open_time", "close_time", "duration", "total_bytes", "fsid"),
+        ):
+            pipeline = FeaturePipeline(features=features)
+            got = pipeline.feature_matrix_from_columns(self._columns(records))
+            assert np.array_equal(got, pipeline.feature_matrix(records))
+
+    def test_unknown_feature_raises(self, records):
+        pipeline = FeaturePipeline(features=("rb", "fsid", "rt"))
+        with pytest.raises(FeatureError, match="columnar"):
+            pipeline.feature_matrix_from_columns(self._columns(records))
+
+    def test_empty_columns_raise(self):
+        with pytest.raises(FeatureError):
+            FeaturePipeline().feature_matrix_from_columns({})
+
+
+class TestEnsureFitted:
+    def test_fits_once_then_freezes_bounds(self, records):
+        pipeline = FeaturePipeline()
+        pipeline.ensure_fitted(records)
+        assert pipeline.fitted
+        before = pipeline.transform_features(records)
+        # Re-ensuring on different telemetry must NOT move the bounds.
+        shifted = make_records(n=30)
+        pipeline.ensure_fitted(shifted)
+        assert np.array_equal(pipeline.transform_features(records), before)
+
+    def test_schema_change_refits(self, records):
+        pipeline = FeaturePipeline()
+        pipeline.ensure_fitted(records)
+        bounds_before = pipeline.transform_features(records)
+        # Simulate a schema change: fitted features no longer match.
+        pipeline._fitted_features = ("rb",)
+        pipeline.ensure_fitted(records)
+        assert np.array_equal(
+            pipeline.transform_features(records), bounds_before
+        )
+        assert pipeline._fitted_features == pipeline.features
+
+
 class TestMakeWindows:
     def test_shapes(self):
         x = np.arange(20.0).reshape(10, 2)

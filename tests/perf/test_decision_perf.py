@@ -1,0 +1,79 @@
+"""Decision-epoch latency micro-benchmarks (``pytest -m perf``).
+
+Timing-sensitive by nature, so this tier is excluded from tier-1 (see
+``pyproject.toml``).  CI runs it on one Python version and uploads the
+``BENCH_decision.json`` it writes, giving successive PRs a perf
+trajectory to compare against.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.decision_bench import (
+    run_decision_benchmark,
+    run_harness_benchmark,
+)
+from repro.experiments.spec import ExperimentScale
+
+OUT_PATH = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "benchmarks" / "out" / "BENCH_decision.json"
+)
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def decision_result():
+    return run_decision_benchmark(repeats=5)
+
+
+class TestDecisionEpochLatency:
+    def test_batched_equivalent_on_benchmark_inputs(self, decision_result):
+        assert decision_result.all_equivalent
+        for cell in decision_result.cells:
+            # Gains are O(1e8) bytes/s; a one-ulp BLAS divergence is
+            # O(1e-8) -- anything past 1e-4 means a real numeric bug.
+            assert cell.max_gain_delta < 1e-4
+
+    def test_every_architecture_faster_batched(self, decision_result):
+        for cell in decision_result.cells:
+            assert cell.speedup > 2.0, (
+                f"model {cell.model_number}: only {cell.speedup:.1f}x"
+            )
+
+    def test_decision_epoch_speedup_at_least_5x(self, decision_result):
+        # The acceptance bar: one full decision sweep across the
+        # benchmarked architectures is >= 5x faster batched.
+        assert decision_result.overall_speedup >= 5.0
+
+    def test_writes_bench_record(self, decision_result):
+        path = decision_result.write_json(OUT_PATH)
+        data = json.loads(path.read_text())
+        assert data["benchmark"] == "decision-epoch"
+        assert data["overall_speedup"] == decision_result.overall_speedup
+        assert len(data["cells"]) == len(decision_result.cells)
+
+
+class TestParallelHarness:
+    def test_sweep_results_identical_and_recorded(self, decision_result):
+        scale = ExperimentScale(
+            name="perf",
+            warmup_accesses=200,
+            runs=8,
+            update_every=4,
+            training_rows=200,
+            epochs=3,
+            trace_rows=1000,
+        )
+        harness = run_harness_benchmark(
+            seeds=(0, 1), scale=scale, workers=2
+        )
+        assert harness.results_match
+        decision_result.harness = harness
+        data = json.loads(
+            decision_result.write_json(OUT_PATH).read_text()
+        )
+        assert data["harness"]["results_match"] is True

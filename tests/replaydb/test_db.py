@@ -76,6 +76,71 @@ class TestInsertAndQuery:
         assert db.files() == [1, 2]
 
 
+class TestPerFileWindowQueries:
+    """The single-query decision-path telemetry requests."""
+
+    def _populate(self, db, *, files=5, rows=40):
+        for i in range(rows):
+            db.insert_access(
+                make_access(
+                    fid=i % files, fsid=i % 3, device=f"dev{i % 3}",
+                    t=i + 1, rb=1000 + i,
+                )
+            )
+
+    def test_matches_per_file_loop(self, db):
+        self._populate(db)
+        per_file = db.recent_accesses_per_file(4)
+        assert set(per_file) == set(db.files())
+        for fid in db.files():
+            assert per_file[fid] == db.recent_accesses(4, fid=fid)
+
+    def test_limit_and_chronological_order(self, db):
+        self._populate(db, files=2, rows=10)
+        per_file = db.recent_accesses_per_file(3)
+        for fid, records in per_file.items():
+            assert len(records) == 3
+            assert [r.ots for r in records] == sorted(r.ots for r in records)
+
+    def test_fids_filter(self, db):
+        self._populate(db)
+        assert set(db.recent_accesses_per_file(4, fids=[1, 3])) == {1, 3}
+        assert db.recent_accesses_per_file(4, fids=[]) == {}
+        assert db.recent_accesses_per_file(4, fids=[999]) == {}
+
+    def test_limit_zero_rejected(self, db):
+        with pytest.raises(ReplayDBError):
+            db.recent_accesses_per_file(0)
+        with pytest.raises(ReplayDBError):
+            db.recent_access_columns_per_file(0)
+
+    def test_empty_db(self, db):
+        assert db.recent_accesses_per_file(4) == {}
+        assert db.recent_access_columns_per_file(4) == ([], {})
+
+    def test_columns_match_record_query(self, db):
+        from repro.replaydb.db import PROBE_FIELDS
+
+        self._populate(db)
+        spans, columns = db.recent_access_columns_per_file(4)
+        per_file = db.recent_accesses_per_file(4)
+        assert set(columns) == set(PROBE_FIELDS)
+        assert [fid for fid, _, _ in spans] == sorted(per_file)
+        for fid, start, stop in spans:
+            records = per_file[fid]
+            assert stop - start == len(records)
+            for name in PROBE_FIELDS:
+                expected = [float(getattr(r, name)) for r in records]
+                assert list(columns[name][start:stop]) == expected
+
+    def test_recent_per_device_matches_per_device_loop(self, db):
+        self._populate(db)
+        per_device = db.recent_per_device(4)
+        assert set(per_device) == set(db.devices())
+        for device in db.devices():
+            assert per_device[device] == db.recent_accesses(4, device=device)
+
+
 class TestAggregates:
     def test_access_count_per_file(self, db):
         for fid in (1, 1, 2):
