@@ -107,6 +107,58 @@ class ControlAgent:
             if state.next_eligible_t <= t
         }
 
+    # -- checkpointing -----------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable agent state (counters, retry queue, give-ups)."""
+        return {
+            "commands_executed": self.commands_executed,
+            "files_moved": self.files_moved,
+            "moves_failed": self.moves_failed,
+            "moves_skipped": self.moves_skipped,
+            "moves_retried": self.moves_retried,
+            "retries": {
+                str(fid): {
+                    "dst": state.dst,
+                    "attempts": state.attempts,
+                    "next_eligible_t": state.next_eligible_t,
+                }
+                for fid, state in self._retries.items()
+            },
+            "exhausted": [
+                {
+                    "message": str(exc),
+                    "fid": exc.fid,
+                    "dst": exc.dst,
+                    "attempts": exc.attempts,
+                }
+                for exc in self.exhausted
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.commands_executed = int(state["commands_executed"])
+        self.files_moved = int(state["files_moved"])
+        self.moves_failed = int(state["moves_failed"])
+        self.moves_skipped = int(state["moves_skipped"])
+        self.moves_retried = int(state["moves_retried"])
+        self._retries = {
+            int(fid): _RetryState(
+                dst=str(entry["dst"]),
+                attempts=int(entry["attempts"]),
+                next_eligible_t=float(entry["next_eligible_t"]),
+            )
+            for fid, entry in state["retries"].items()
+        }
+        self.exhausted = [
+            RetryExhaustedError(
+                entry["message"],
+                fid=int(entry["fid"]),
+                dst=str(entry["dst"]),
+                attempts=int(entry["attempts"]),
+            )
+            for entry in state["exhausted"]
+        ]
+
     # -- execution ---------------------------------------------------------
     def execute(self, command: LayoutCommand) -> list[MovementRecord]:
         """Apply a layout command; returns the movements attempted.

@@ -14,6 +14,8 @@
     python -m repro synth-trace out.jsonl --rows 5000
     python -m repro bench --workers 4     # decision + harness benchmarks
     python -m repro robustness --workers 4 --seeds 0 1 2 3
+    python -m repro recover ckpt/ --checkpoint-every 5 --guardrail
+    python -m repro resume ckpt/          # restart a killed recover run
 
 ``--workers N`` (fig5a/fig5b/table2/robustness/bench) spreads the
 experiment's (policy x seed / model) grid over N processes; results are
@@ -170,6 +172,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(selection, default_seed=0)
 
+    recover = sub.add_parser(
+        "recover",
+        help="run the control loop under the durability stack "
+             "(checkpoints + layout journal + optional guardrail)",
+    )
+    _add_common(recover, default_seed=0)
+    recover.add_argument(
+        "checkpoint_dir",
+        help="directory for checkpoint generations and the layout journal",
+    )
+    recover.add_argument(
+        "--checkpoint-every", type=int, default=5, metavar="N",
+        help="checkpoint the full system state every N measured runs "
+             "(default: 5; 0 disables checkpointing)",
+    )
+    recover.add_argument(
+        "--keep", type=int, default=3,
+        help="rotated checkpoint generations kept on disk (default: 3)",
+    )
+    recover.add_argument(
+        "--guardrail", action="store_true",
+        help="enable the safe-mode guardrail (rollback + fallback policy "
+             "on NaN loss / loss explosion / throughput regression)",
+    )
+    recover.add_argument(
+        "--fallback", choices=("static", "lru"), default="static",
+        help="policy while the guardrail has the learner benched "
+             "(default: static)",
+    )
+    recover.add_argument(
+        "--schedule", nargs="+", metavar="SPEC", default=(),
+        help="absolute-time fault specs to inject, e.g. 'kill:file0@120'",
+    )
+    recover.add_argument(
+        "--migration-failure-rate", type=float, default=0.0,
+        help="probability each file move aborts mid-transfer (default: 0)",
+    )
+    recover.add_argument(
+        "--kill-at-run", type=int, default=None, metavar="RUN",
+        help="crash-injection: die at this measured run (testing)",
+    )
+    recover.add_argument(
+        "--kill-point",
+        choices=("pre-commit", "mid-checkpoint", "post-commit"),
+        default=None,
+        help="where in the checkpoint protocol the injected kill fires",
+    )
+
+    resume = sub.add_parser(
+        "resume",
+        help="restore the newest valid checkpoint and finish the run",
+    )
+    resume.add_argument(
+        "checkpoint_dir",
+        help="checkpoint directory of an interrupted 'recover' run",
+    )
+
     trace = sub.add_parser(
         "synth-trace", help="write a synthetic EOS-style trace (JSONL)"
     )
@@ -315,6 +374,30 @@ def _run_model_selection(args) -> str:
     ).to_text()
 
 
+def _run_recover(args) -> str:
+    from repro.experiments.recoverable import run_recoverable
+
+    return run_recoverable(
+        checkpoint_dir=args.checkpoint_dir,
+        scale=_SCALES[args.scale],
+        seed=args.seed,
+        checkpoint_every=args.checkpoint_every,
+        keep=args.keep,
+        guardrail=args.guardrail,
+        fallback_policy=args.fallback,
+        schedule_specs=tuple(args.schedule),
+        migration_failure_rate=args.migration_failure_rate,
+        kill_at_run=args.kill_at_run,
+        kill_point=args.kill_point,
+    ).to_text()
+
+
+def _run_resume(args) -> str:
+    from repro.experiments.recoverable import resume_recoverable
+
+    return resume_recoverable(args.checkpoint_dir).to_text()
+
+
 def _run_testbed(args) -> str:
     from repro.simulation.bluesky import describe_bluesky
 
@@ -342,6 +425,8 @@ _COMMANDS = {
     "robustness": _run_robustness,
     "bench": _run_bench,
     "chaos": _run_chaos,
+    "recover": _run_recover,
+    "resume": _run_resume,
     "overhead": _run_overhead,
     "model-selection": _run_model_selection,
     "testbed": _run_testbed,

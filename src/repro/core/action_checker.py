@@ -80,6 +80,20 @@ class ActionChecker:
         device = choices[int(self._rng.integers(0, len(choices)))]
         return {fid: device}
 
+    # -- checkpointing -----------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable exploration state (RNG stream + counters)."""
+        return {
+            "rng": self._rng.bit_generator.state,
+            "random_decisions": self.random_decisions,
+            "total_decisions": self.total_decisions,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng"]
+        self.random_decisions = int(state["random_decisions"])
+        self.total_decisions = int(state["total_decisions"])
+
     @property
     def random_fraction(self) -> float:
         """Observed fraction of random decisions (~exploration_rate)."""

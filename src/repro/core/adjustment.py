@@ -53,6 +53,14 @@ class PredictionAdjuster:
         self._sign = 1 if signed >= 0 else -1
         return self
 
+    def state_dict(self) -> dict:
+        """JSON-serializable calibration state."""
+        return {"mae": self._mae, "sign": self._sign}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._mae = float(state["mae"]) if state["mae"] is not None else None
+        self._sign = int(state["sign"])
+
     def adjust(self, predictions: np.ndarray) -> np.ndarray:
         """Apply ``prediction +/- MAE * prediction``."""
         if self._mae is None:

@@ -78,6 +78,26 @@ class GeomancyConfig:
     #: modeling target: "throughput" (the paper's live system) or
     #: "latency" (the sensitivity the paper defers to future work)
     target: str = "throughput"
+    #: -- durability & safe mode (repro.recovery) -------------------------
+    #: checkpoint the full system state every N measured runs (0 disables;
+    #: consumed by the recoverable harness, ignored by ordinary runs)
+    checkpoint_every: int = 0
+    #: rotated checkpoint generations kept on disk
+    checkpoint_keep: int = 3
+    #: wrap the learning policy in the safe-mode guardrail
+    guardrail_enabled: bool = False
+    #: realized-vs-predicted throughput pairs per regression check window
+    guardrail_window: int = 4
+    #: trip when realized throughput over the window falls below this
+    #: fraction of what the engine predicted for its own placements
+    guardrail_regression_fraction: float = 0.5
+    #: trip when held-out training error exceeds this multiple of the
+    #: first healthy cycle's error (loss explosion)
+    guardrail_explode_factor: float = 10.0
+    #: control cycles the policy stays demoted to the fallback after a trip
+    guardrail_cooldown_runs: int = 3
+    #: policy used while demoted: "static" (hold layout) or "lru"
+    fallback_policy: str = "static"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -156,6 +176,38 @@ class GeomancyConfig:
             raise ConfigurationError(
                 f"quarantine_duration_s must be positive, "
                 f"got {self.quarantine_duration_s}"
+            )
+        if self.checkpoint_every < 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        if self.checkpoint_keep < 1:
+            raise ConfigurationError(
+                f"checkpoint_keep must be >= 1, got {self.checkpoint_keep}"
+            )
+        if self.guardrail_window < 1:
+            raise ConfigurationError(
+                f"guardrail_window must be >= 1, got {self.guardrail_window}"
+            )
+        if not 0.0 < self.guardrail_regression_fraction < 1.0:
+            raise ConfigurationError(
+                f"guardrail_regression_fraction must be in (0, 1), "
+                f"got {self.guardrail_regression_fraction}"
+            )
+        if self.guardrail_explode_factor <= 1.0:
+            raise ConfigurationError(
+                f"guardrail_explode_factor must be > 1, "
+                f"got {self.guardrail_explode_factor}"
+            )
+        if self.guardrail_cooldown_runs < 1:
+            raise ConfigurationError(
+                f"guardrail_cooldown_runs must be >= 1, "
+                f"got {self.guardrail_cooldown_runs}"
+            )
+        if self.fallback_policy not in ("static", "lru"):
+            raise ConfigurationError(
+                f"fallback_policy must be 'static' or 'lru', "
+                f"got {self.fallback_policy!r}"
             )
         for spec in self.fault_schedule:
             # Raises ConfigurationError on a malformed entry.

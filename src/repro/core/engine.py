@@ -14,7 +14,7 @@ highest predicted throughput.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -116,6 +116,10 @@ class DRLEngine:
         self.model = self._fresh_model()
         self.adjuster = PredictionAdjuster()
         self.last_report: TrainingReport | None = None
+        #: mean predicted throughput (bytes/s) at the placements chosen by
+        #: the most recent propose_layout call -- the "promise" the safe-mode
+        #: guardrail compares realized throughput against
+        self.last_predicted_mean: float | None = None
 
     def _fresh_model(self):
         return build_model(
@@ -202,6 +206,47 @@ class DRLEngine:
         """Retrain on the most recent ``training_rows`` ReplayDB accesses."""
         records = db.recent_accesses(self.config.training_rows)
         return self.train_on_records(records)
+
+    # -- checkpointing -----------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable engine state, *excluding* model weights.
+
+        Weights are large binary arrays and are checkpointed separately
+        through :mod:`repro.nn.serialization` (with their own checksums);
+        this dict covers everything else a restored engine needs to behave
+        identically: normalization bounds, the calibrated adjuster, the
+        last training report, and the model's RNG stream.
+        """
+        return {
+            "pipeline": self.pipeline.state_dict(),
+            "adjuster": self.adjuster.state_dict(),
+            "last_report": (
+                asdict(self.last_report)
+                if self.last_report is not None else None
+            ),
+            "last_predicted_mean": self.last_predicted_mean,
+            "model_built": self.model.built,
+            "model_rng": self.model._rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output.
+
+        Builds the model if it was built at capture time (the caller then
+        loads the weight file over the freshly initialized parameters) and
+        restores the RNG stream *after* building, so the stream position
+        matches the original process exactly.
+        """
+        self.pipeline.load_state_dict(state["pipeline"])
+        self.adjuster.load_state_dict(state["adjuster"])
+        self.last_report = (
+            TrainingReport(**state["last_report"])
+            if state["last_report"] is not None else None
+        )
+        self.last_predicted_mean = state["last_predicted_mean"]
+        if state["model_built"] and not self.model.built:
+            self.model.build(self.config.z)
+        self.model._rng.bit_generator.state = state["model_rng"]
 
     # -- prediction --------------------------------------------------------
     def predict_location_throughputs(
@@ -391,7 +436,9 @@ class DRLEngine:
         per_fid, raw = self._gather_probe_bases(db, fids)
         layout: dict[int, str] = {}
         gains: dict[int, float] = {}
+        chosen_scores: list[float] = []
         if raw is None:
+            self.last_predicted_mean = None
             return layout, gains
         probe = self.pipeline.build_location_probe_from_matrix(raw, fsids)
         matrix = self._predict_probe(probe, len(raw), len(fsids))
@@ -411,6 +458,10 @@ class DRLEngine:
             best, gain = self._choose_placement(scores, current_fsid)
             layout[fid] = device_by_fsid[best]
             gains[fid] = gain
+            chosen_scores.append(scores[best])
+        self.last_predicted_mean = (
+            float(np.mean(chosen_scores)) if chosen_scores else None
+        )
         return layout, gains
 
     def propose_layout_reference(
@@ -432,6 +483,7 @@ class DRLEngine:
         fsids = sorted(device_by_fsid)
         layout: dict[int, str] = {}
         gains: dict[int, float] = {}
+        chosen_scores: list[float] = []
         for fid in fids:
             recent = db.recent_accesses(self.config.probe_samples, fid=fid)
             if not recent:
@@ -447,4 +499,8 @@ class DRLEngine:
             best, gain = self._choose_placement(scores, recent[-1].fsid)
             layout[fid] = device_by_fsid[best]
             gains[fid] = gain
+            chosen_scores.append(scores[best])
+        self.last_predicted_mean = (
+            float(np.mean(chosen_scores)) if chosen_scores else None
+        )
         return layout, gains

@@ -28,8 +28,9 @@ from repro.core.scheduler import AccessGapScheduler, CooldownScheduler
 from repro.errors import AgentError, ConfigurationError
 from repro.faults.health import HealthTracker
 from repro.policies.static import EvenSpreadPolicy
+from repro.recovery.events import EventLog
 from repro.replaydb.db import ReplayDB
-from repro.replaydb.records import AccessRecord, MovementRecord
+from repro.replaydb.records import BYTES_PER_GB, AccessRecord, MovementRecord
 from repro.simulation.cluster import StorageCluster
 from repro.workloads.files import FileSpec
 
@@ -44,6 +45,10 @@ class StepOutcome:
     movements: list[MovementRecord] = field(default_factory=list)
     #: files rescued off offline devices this cycle
     rescued_files: int = 0
+    #: mean predicted throughput (GB/s) at the engine's chosen placements
+    #: this cycle, or None when the engine made no prediction; the
+    #: recovery guardrail compares realized throughput against this
+    predicted_gbps: float | None = None
 
     @property
     def moved_files(self) -> int:
@@ -68,6 +73,8 @@ class Geomancy:
         *,
         db: ReplayDB | None = None,
         telemetry: InMemoryTransport | None = None,
+        journal=None,
+        event_log: EventLog | None = None,
     ) -> None:
         if not files:
             raise ConfigurationError("Geomancy needs a workload file set")
@@ -80,6 +87,12 @@ class Geomancy:
         self.telemetry = (
             telemetry if telemetry is not None else InMemoryTransport()
         )
+        #: optional write-ahead :class:`repro.recovery.journal.LayoutJournal`;
+        #: when set, every dispatched layout is bracketed by intent/commit
+        #: records so a crash mid-movement is resolvable on restore
+        self.journal = journal
+        #: structured recovery telemetry (rescues, rollbacks, trips)
+        self.event_log = event_log if event_log is not None else EventLog()
         self.commands = InMemoryTransport()
         self.daemon = InterfaceDaemon(self.db, self.telemetry, self.commands)
         self.monitors = {
@@ -155,7 +168,18 @@ class Geomancy:
 
     # -- the decision loop -----------------------------------------------------
     def _dispatch(self, layout: dict[int, str], t: float) -> list[MovementRecord]:
-        """Push a layout through the daemon/command path and execute it."""
+        """Push a layout through the daemon/command path and execute it.
+
+        With a journal attached the dispatch is a write-ahead
+        transaction: the intent is durably logged before any file moves,
+        the commit after every movement has settled, so a crash in
+        between leaves a pending intent the recovery path rolls back.
+        """
+        txn = (
+            self.journal.log_intent(layout, t=t)
+            if self.journal is not None
+            else None
+        )
         self.daemon.send_layout(layout, at=t)
         command = self.commands.receive()
         if not isinstance(command, LayoutCommand):
@@ -164,6 +188,8 @@ class Geomancy:
             )
         movements = self.control.execute(command)
         self.daemon.record_movements(movements)
+        if txn is not None:
+            self.journal.log_commit(txn, movements, t=t)
         return movements
 
     def _drive_retries(self, outcome: StepOutcome, t: float) -> None:
@@ -224,6 +250,14 @@ class Geomancy:
             rescued = self._dispatch(rescue, t)
             outcome.movements.extend(rescued)
             outcome.rescued_files = sum(1 for m in rescued if m.succeeded)
+            self.event_log.emit(
+                "stranded-file-rescued",
+                t=t,
+                step=run_index,
+                rescued=outcome.rescued_files,
+                attempted=len(rescue),
+                targets={str(fid): dst for fid, dst in sorted(rescue.items())},
+            )
         if self.db.access_count() < self.MIN_TRAINING_ACCESSES:
             self._drive_retries(outcome, t)
             return outcome
@@ -256,6 +290,10 @@ class Geomancy:
         proposal, gains = self.engine.propose_layout(
             self.db, fids, device_by_fsid
         )
+        if self.engine.last_predicted_mean is not None:
+            outcome.predicted_gbps = (
+                self.engine.last_predicted_mean / BYTES_PER_GB
+            )
         current = {
             fid: device for fid, device in self.cluster.layout().items()
             if fid in set(fids)

@@ -32,6 +32,18 @@ class DivergedError(ModelError):
     """
 
 
+class CheckpointCorruptError(ModelError):
+    """A persisted artifact failed integrity validation on load.
+
+    Raised by :mod:`repro.nn.serialization` and the recovery subsystem when
+    a checkpoint file is truncated, bit-flipped (checksum mismatch), has an
+    unsupported format version, or stores arrays whose shape/dtype disagree
+    with the live object they are loaded into.  Subclasses
+    :class:`ModelError` so callers that already guard weight loading keep
+    working.
+    """
+
+
 class FeatureError(ReproError):
     """Feature extraction or normalization failed."""
 
@@ -132,3 +144,16 @@ class RetryExhaustedError(AgentError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured or run incorrectly."""
+
+
+class RecoveryError(ReproError):
+    """Crash recovery could not restore a usable system state."""
+
+
+class SimulatedCrash(ReproError):
+    """An injected process kill (crash-restart testing).
+
+    Raised by the recoverable harness at a configured kill point; tests and
+    the recovery benchmark catch it, throw the process state away, and
+    resume from the on-disk checkpoint exactly as a restarted process would.
+    """

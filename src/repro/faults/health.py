@@ -86,3 +86,25 @@ class HealthTracker:
 
     def consecutive_failures(self, device: str) -> int:
         return self._consecutive.get(device, 0)
+
+    # -- checkpointing -----------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable circuit-breaker state."""
+        return {
+            "consecutive": dict(self._consecutive),
+            "quarantined_until": dict(self._quarantined_until),
+            "successes": self.successes,
+            "failures": self.failures,
+            "quarantines_opened": self.quarantines_opened,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._consecutive = {
+            str(k): int(v) for k, v in state["consecutive"].items()
+        }
+        self._quarantined_until = {
+            str(k): float(v) for k, v in state["quarantined_until"].items()
+        }
+        self.successes = int(state["successes"])
+        self.failures = int(state["failures"])
+        self.quarantines_opened = int(state["quarantines_opened"])

@@ -106,6 +106,42 @@ class FaultInjector:
                 self.recoveries_applied += 1
         return applied
 
+    # -- persistence -----------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable progress through the schedule.
+
+        The schedule itself is not serialized -- the owner reconstructs
+        the injector from the same (resolved) schedule and seed, then
+        restores the cursor so already-applied actions never re-fire.
+        """
+        return {
+            "rng": self._rng.bit_generator.state,
+            "cursor": self._cursor,
+            "outages_applied": self.outages_applied,
+            "recoveries_applied": self.recoveries_applied,
+            "degradations_applied": self.degradations_applied,
+            "migration_attempts": self.migration_attempts,
+            "migration_faults_injected": self.migration_faults_injected,
+            "outage_log": [[t, device] for t, device in self.outage_log],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng"]
+        self._cursor = int(state["cursor"])
+        if self._cursor > len(self._actions):
+            raise ConfigurationError(
+                f"injector cursor {self._cursor} exceeds the "
+                f"{len(self._actions)} scheduled actions"
+            )
+        self.outages_applied = int(state["outages_applied"])
+        self.recoveries_applied = int(state["recoveries_applied"])
+        self.degradations_applied = int(state["degradations_applied"])
+        self.migration_attempts = int(state["migration_attempts"])
+        self.migration_faults_injected = int(state["migration_faults_injected"])
+        self.outage_log = [
+            (float(t), str(device)) for t, device in state["outage_log"]
+        ]
+
     # -- migration failures ----------------------------------------------
     def intercept_migration(
         self, fid: int, src: str, dst: str, t: float, size_bytes: int

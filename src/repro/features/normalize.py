@@ -70,6 +70,23 @@ class MinMaxNormalizer:
         out[:, ~nonconstant] = self._min[~nonconstant]
         return out
 
+    def state_dict(self) -> dict:
+        """JSON-serializable fitted bounds (floats round-trip exactly)."""
+        return {
+            "min": self._min.tolist() if self._min is not None else None,
+            "range": self._range.tolist() if self._range is not None else None,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._min = (
+            np.array(state["min"], dtype=np.float64)
+            if state["min"] is not None else None
+        )
+        self._range = (
+            np.array(state["range"], dtype=np.float64)
+            if state["range"] is not None else None
+        )
+
     @staticmethod
     def _as_matrix(x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)

@@ -357,6 +357,30 @@ class FeaturePipeline:
         if not self.fitted:
             raise FeatureError("pipeline used before fit()")
 
+    # -- checkpointing -----------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable normalization state.
+
+        The frozen bounds are the pipeline's only mutable state; the
+        feature tuple/accessors are reconstructed from config at restore.
+        """
+        return {
+            "x_norm": self._x_norm.state_dict(),
+            "y_norm": self._y_norm.state_dict(),
+            "fitted_features": (
+                list(self._fitted_features)
+                if self._fitted_features is not None else None
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._x_norm.load_state_dict(state["x_norm"])
+        self._y_norm.load_state_dict(state["y_norm"])
+        self._fitted_features = (
+            tuple(state["fitted_features"])
+            if state["fitted_features"] is not None else None
+        )
+
 
 def make_windows(
     x: np.ndarray, y: np.ndarray, timesteps: int

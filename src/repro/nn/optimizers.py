@@ -31,6 +31,39 @@ class Optimizer:
     def reset(self) -> None:
         """Clear accumulated state (momentum/moments)."""
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Accumulated state as flat ``slot/param-key`` arrays.
+
+        The mapping is suitable for checkpointing alongside model weights
+        (see :mod:`repro.nn.serialization`); scalar slots are stored as
+        0-d arrays.  Stateless optimizers return an empty dict.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        if state:
+            raise ModelError(
+                f"{type(self).__name__} carries no state but got keys "
+                f"{sorted(state)}"
+            )
+
+
+def _split_slots(
+    state: dict[str, np.ndarray], expected: tuple[str, ...], owner: str
+) -> dict[str, dict[str, np.ndarray]]:
+    """Group flat ``slot/param-key`` state by slot, validating slot names."""
+    slots: dict[str, dict[str, np.ndarray]] = {name: {} for name in expected}
+    for key, value in state.items():
+        slot, sep, param_key = key.partition("/")
+        if not sep or slot not in slots:
+            raise ModelError(
+                f"{owner} state has unexpected key {key!r}; "
+                f"expected slots {expected}"
+            )
+        slots[slot][param_key] = value
+    return slots
+
 
 class SGD(Optimizer):
     """Standard gradient descent with optional momentum and gradient clipping.
@@ -76,6 +109,19 @@ class SGD(Optimizer):
 
     def reset(self) -> None:
         self._velocity.clear()
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {
+            f"velocity/{key}": np.array(value, dtype=np.float64)
+            for key, value in self._velocity.items()
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        slots = _split_slots(state, ("velocity",), "SGD")
+        self._velocity = {
+            key: np.array(value, dtype=np.float64)
+            for key, value in slots["velocity"].items()
+        }
 
 
 class Adam(Optimizer):
@@ -123,6 +169,30 @@ class Adam(Optimizer):
         self._m.clear()
         self._v.clear()
         self._t.clear()
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        out: dict[str, np.ndarray] = {}
+        for key, value in self._m.items():
+            out[f"m/{key}"] = np.array(value, dtype=np.float64)
+        for key, value in self._v.items():
+            out[f"v/{key}"] = np.array(value, dtype=np.float64)
+        for key, value in self._t.items():
+            out[f"t/{key}"] = np.array(value, dtype=np.int64)
+        return out
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        slots = _split_slots(state, ("m", "v", "t"), "Adam")
+        if set(slots["m"]) != set(slots["v"]) or set(slots["m"]) != set(slots["t"]):
+            raise ModelError("Adam state slots m/v/t cover different keys")
+        self._m = {
+            key: np.array(value, dtype=np.float64)
+            for key, value in slots["m"].items()
+        }
+        self._v = {
+            key: np.array(value, dtype=np.float64)
+            for key, value in slots["v"].items()
+        }
+        self._t = {key: int(value) for key, value in slots["t"].items()}
 
 
 _REGISTRY: dict[str, type[Optimizer]] = {"sgd": SGD, "adam": Adam}

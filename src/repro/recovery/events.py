@@ -1,0 +1,80 @@
+"""Structured recovery telemetry.
+
+Every recovery-relevant occurrence -- a checkpoint written, a torn
+generation skipped, a journal rollback, a guardrail trip, a stranded-file
+rescue -- is recorded as a :class:`RecoveryEvent` so experiments and
+operators can audit exactly what the durability layer did and when.
+
+This module is intentionally dependency-free (stdlib only) so that
+:mod:`repro.core.geomancy` can import it without creating a cycle with
+the rest of the recovery package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One recovery-relevant occurrence.
+
+    ``kind`` is a stable machine-readable tag (e.g. ``checkpoint-saved``,
+    ``checkpoint-corrupt``, ``journal-rollback``, ``guardrail-trip``,
+    ``stranded-file-rescued``); ``detail`` carries kind-specific,
+    JSON-serializable context.
+    """
+
+    kind: str
+    t: float
+    step: int
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "t": self.t,
+            "step": self.step,
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "RecoveryEvent":
+        return cls(
+            kind=str(raw["kind"]),
+            t=float(raw["t"]),
+            step=int(raw["step"]),
+            detail=dict(raw.get("detail", {})),
+        )
+
+
+class EventLog:
+    """Append-only in-memory log of :class:`RecoveryEvent` records."""
+
+    def __init__(self) -> None:
+        self._events: list[RecoveryEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    @property
+    def events(self) -> tuple[RecoveryEvent, ...]:
+        return tuple(self._events)
+
+    def emit(self, kind: str, *, t: float, step: int, **detail) -> RecoveryEvent:
+        """Record and return a new event."""
+        event = RecoveryEvent(kind=kind, t=float(t), step=int(step), detail=detail)
+        self._events.append(event)
+        return event
+
+    def of_kind(self, kind: str) -> tuple[RecoveryEvent, ...]:
+        return tuple(e for e in self._events if e.kind == kind)
+
+    def state_dict(self) -> dict:
+        return {"events": [e.to_dict() for e in self._events]}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._events = [RecoveryEvent.from_dict(raw) for raw in state["events"]]

@@ -1,0 +1,246 @@
+"""Safe-mode guardrail: bound the damage of a misbehaving policy.
+
+The learning policy keeps authority only while it behaves.  The
+guardrail watches two signals every control cycle:
+
+* **training health** -- a NaN/inf held-out error, a diverged training
+  report, or an error explosion (``test_mare`` exceeding
+  ``explode_factor`` times the first healthy cycle's error);
+* **realized vs. predicted throughput** -- over a sliding window of
+  measured runs, if the realized throughput sums to less than
+  ``regression_fraction`` of what the engine predicted for its own
+  placements, the model is confidently wrong about the system it steers.
+
+Either signal *trips* the guardrail: the caller rolls the layout back to
+the last known-good checkpoint and the guardrail demotes the policy to
+the configured fallback (``static`` holds the layout; ``lru`` runs the
+paper's LRU baseline) for ``cooldown_runs`` control cycles before
+re-admitting the learner.  Every trip and mode change is recorded as
+structured telemetry.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.recovery.events import EventLog
+
+LEARNING = "learning"
+FALLBACK = "fallback"
+
+NAN_LOSS = "nan-loss"
+LOSS_EXPLOSION = "loss-explosion"
+THROUGHPUT_REGRESSION = "throughput-regression"
+
+FALLBACK_POLICIES = ("static", "lru")
+
+
+@dataclass(frozen=True)
+class GuardrailTrip:
+    """One guardrail activation."""
+
+    reason: str
+    run_index: int
+    t: float
+    detail: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "reason": self.reason,
+            "run_index": self.run_index,
+            "t": self.t,
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "GuardrailTrip":
+        return cls(
+            reason=str(raw["reason"]),
+            run_index=int(raw["run_index"]),
+            t=float(raw["t"]),
+            detail=dict(raw["detail"]),
+        )
+
+
+class Guardrail:
+    """Training-health and throughput watchdog with a fallback mode."""
+
+    def __init__(
+        self,
+        *,
+        window: int = 4,
+        regression_fraction: float = 0.5,
+        explode_factor: float = 10.0,
+        cooldown_runs: int = 3,
+        fallback: str = "static",
+        event_log: EventLog | None = None,
+    ) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if not 0.0 < regression_fraction < 1.0:
+            raise ConfigurationError(
+                f"regression_fraction must be in (0, 1), "
+                f"got {regression_fraction}"
+            )
+        if explode_factor <= 1.0:
+            raise ConfigurationError(
+                f"explode_factor must be > 1, got {explode_factor}"
+            )
+        if cooldown_runs < 1:
+            raise ConfigurationError(
+                f"cooldown_runs must be >= 1, got {cooldown_runs}"
+            )
+        if fallback not in FALLBACK_POLICIES:
+            raise ConfigurationError(
+                f"fallback must be one of {FALLBACK_POLICIES}, got {fallback!r}"
+            )
+        self.window = window
+        self.regression_fraction = regression_fraction
+        self.explode_factor = explode_factor
+        self.cooldown_runs = cooldown_runs
+        self.fallback = fallback
+        self.event_log = event_log if event_log is not None else EventLog()
+        self._mode = LEARNING
+        self._cooldown_left = 0
+        self._baseline_mare: float | None = None
+        self._pairs: deque[tuple[float, float]] = deque(maxlen=window)
+        self.trips: list[GuardrailTrip] = []
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    @property
+    def in_fallback(self) -> bool:
+        return self._mode == FALLBACK
+
+    # -- signals ---------------------------------------------------------
+
+    def check_training(self, report, *, run_index: int, t: float):
+        """Inspect one training report; returns the trip if one fired."""
+        if self._mode == FALLBACK or report is None:
+            return None
+        mare = float(report.test_mare)
+        if not math.isfinite(mare) or report.diverged:
+            return self._trip(
+                NAN_LOSS,
+                run_index=run_index,
+                t=t,
+                detail={"test_mare": repr(mare), "diverged": report.diverged},
+            )
+        if self._baseline_mare is None:
+            self._baseline_mare = mare
+            return None
+        if mare > self.explode_factor * self._baseline_mare:
+            return self._trip(
+                LOSS_EXPLOSION,
+                run_index=run_index,
+                t=t,
+                detail={
+                    "test_mare": mare,
+                    "baseline_mare": self._baseline_mare,
+                    "explode_factor": self.explode_factor,
+                },
+            )
+        return None
+
+    def observe_throughput(
+        self,
+        realized_gbps: float,
+        predicted_gbps: float | None,
+        *,
+        run_index: int,
+        t: float,
+    ):
+        """Feed one measured run's (realized, predicted) throughput pair.
+
+        Runs where the engine issued no prediction (cooldown cycles,
+        skipped layouts) carry ``predicted_gbps=None`` and do not enter
+        the window.  Returns the trip if the window fired.
+        """
+        if self._mode == FALLBACK or predicted_gbps is None:
+            return None
+        self._pairs.append((float(realized_gbps), float(predicted_gbps)))
+        if len(self._pairs) < self.window:
+            return None
+        realized = sum(pair[0] for pair in self._pairs)
+        predicted = sum(pair[1] for pair in self._pairs)
+        if predicted > 0 and realized < self.regression_fraction * predicted:
+            return self._trip(
+                THROUGHPUT_REGRESSION,
+                run_index=run_index,
+                t=t,
+                detail={
+                    "window": self.window,
+                    "realized_sum": realized,
+                    "predicted_sum": predicted,
+                    "fraction": realized / predicted,
+                    "threshold": self.regression_fraction,
+                },
+            )
+        return None
+
+    # -- mode machine ----------------------------------------------------
+
+    def _trip(self, reason: str, *, run_index: int, t: float, detail: dict):
+        trip = GuardrailTrip(reason=reason, run_index=run_index, t=t, detail=detail)
+        self.trips.append(trip)
+        self._mode = FALLBACK
+        self._cooldown_left = self.cooldown_runs
+        self._pairs.clear()
+        self.event_log.emit(
+            "guardrail-trip",
+            t=t,
+            step=run_index,
+            reason=reason,
+            fallback=self.fallback,
+            cooldown_runs=self.cooldown_runs,
+            **detail,
+        )
+        return trip
+
+    def tick(self, *, run_index: int, t: float) -> bool:
+        """Advance one control cycle in fallback; True when re-admitted."""
+        if self._mode != FALLBACK:
+            return False
+        self._cooldown_left -= 1
+        if self._cooldown_left > 0:
+            return False
+        self._mode = LEARNING
+        # Require the learner to re-establish a healthy error baseline
+        # before the explosion check re-arms.
+        self._baseline_mare = None
+        self.event_log.emit(
+            "guardrail-readmit", t=t, step=run_index, fallback=self.fallback
+        )
+        return True
+
+    # -- persistence -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "mode": self._mode,
+            "cooldown_left": self._cooldown_left,
+            "baseline_mare": self._baseline_mare,
+            "pairs": [list(pair) for pair in self._pairs],
+            "trips": [trip.to_dict() for trip in self.trips],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._mode = str(state["mode"])
+        if self._mode not in (LEARNING, FALLBACK):
+            raise ConfigurationError(f"unknown guardrail mode {self._mode!r}")
+        self._cooldown_left = int(state["cooldown_left"])
+        self._baseline_mare = (
+            float(state["baseline_mare"])
+            if state["baseline_mare"] is not None
+            else None
+        )
+        self._pairs = deque(
+            ((float(r), float(p)) for r, p in state["pairs"]),
+            maxlen=self.window,
+        )
+        self.trips = [GuardrailTrip.from_dict(raw) for raw in state["trips"]]

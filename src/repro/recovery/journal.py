@@ -1,0 +1,169 @@
+"""Write-ahead journal for layout movements.
+
+Before the control plane dispatches a layout command it appends an
+``intent`` record (which files go where); once the movements execute it
+appends a matching ``commit``.  Each record is one JSON line, flushed
+and fsynced before the movement proceeds, so after a crash the journal
+tells the recovery path exactly which relayouts were in flight.
+
+A transaction with an ``intent`` but no ``commit`` is *pending*: the
+process died somewhere between deciding to move files and recording the
+result.  On restore the checkpoint state is authoritative -- the cluster
+is rebuilt as of the last checkpoint, which predates the pending intent
+-- so :meth:`LayoutJournal.resolve_pending` rolls the transaction back
+(appends a ``rollback`` record, emits telemetry) and re-validates the
+cluster invariants.  The deterministic resumed loop then re-derives and
+re-issues the same moves itself.
+
+A torn final line (crash mid-append) is tolerated: reads ignore any
+trailing line that does not parse as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import RecoveryError
+from repro.faults.invariants import assert_cluster_invariants
+from repro.recovery.events import EventLog
+
+INTENT = "intent"
+COMMIT = "commit"
+ROLLBACK = "rollback"
+
+
+class LayoutJournal:
+    """Append-only JSONL write-ahead log of movement transactions."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        existing = self.entries()
+        self._next_txn = 1 + max(
+            (entry["txn"] for entry in existing), default=-1
+        )
+        self._next_seq = 1 + max(
+            (entry["seq"] for entry in existing), default=-1
+        )
+
+    # -- writing ---------------------------------------------------------
+
+    def _append(self, record: dict) -> dict:
+        record = {"seq": self._next_seq, **record}
+        self._next_seq += 1
+        line = json.dumps(record, sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return record
+
+    def log_intent(self, layout: dict[int, str], *, t: float) -> int:
+        """Record that ``layout`` is about to be dispatched; returns txn id."""
+        txn = self._next_txn
+        self._next_txn += 1
+        self._append(
+            {
+                "kind": INTENT,
+                "txn": txn,
+                "t": float(t),
+                "layout": {str(fid): dst for fid, dst in sorted(layout.items())},
+            }
+        )
+        return txn
+
+    def log_commit(self, txn: int, movements, *, t: float) -> None:
+        """Record the realized outcome of a dispatched transaction."""
+        self._append(
+            {
+                "kind": COMMIT,
+                "txn": int(txn),
+                "t": float(t),
+                "moves": [
+                    {
+                        "fid": move.fid,
+                        "src": move.src_device,
+                        "dst": move.dst_device,
+                        "ok": bool(move.succeeded),
+                    }
+                    for move in movements
+                ],
+            }
+        )
+
+    def log_rollback(self, txn: int, *, t: float, reason: str) -> None:
+        self._append(
+            {"kind": ROLLBACK, "txn": int(txn), "t": float(t), "reason": reason}
+        )
+
+    # -- reading ---------------------------------------------------------
+
+    def entries(self) -> list[dict]:
+        """All well-formed records, in append order (torn tail ignored)."""
+        if not self.path.exists():
+            return []
+        records: list[dict] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    break  # torn final append from a crash; drop it
+                raise RecoveryError(
+                    f"layout journal {self.path} corrupt at line {i + 1}"
+                )
+        return records
+
+    def pending_intents(self) -> list[dict]:
+        """Intent records with neither a commit nor a rollback."""
+        resolved: set[int] = set()
+        intents: list[dict] = []
+        for entry in self.entries():
+            if entry["kind"] == INTENT:
+                intents.append(entry)
+            else:
+                resolved.add(entry["txn"])
+        return [e for e in intents if e["txn"] not in resolved]
+
+    # -- recovery --------------------------------------------------------
+
+    def resolve_pending(
+        self,
+        cluster,
+        files,
+        event_log: EventLog | None = None,
+        *,
+        t: float = 0.0,
+        step: int = 0,
+    ) -> int:
+        """Roll back in-flight transactions after a restore.
+
+        The restored checkpoint predates every pending intent, so the
+        cluster is already in the pre-intent state; rolling back means
+        closing the transaction in the journal and letting the resumed
+        loop re-derive its moves.  Cluster invariants are asserted after
+        resolution.  Returns the number of transactions rolled back.
+        """
+        pending = self.pending_intents()
+        for entry in pending:
+            self.log_rollback(
+                entry["txn"],
+                t=t,
+                reason="crash before commit; checkpoint state restored",
+            )
+            if event_log is not None:
+                event_log.emit(
+                    "journal-rollback",
+                    t=t,
+                    step=step,
+                    txn=entry["txn"],
+                    files=sorted(int(fid) for fid in entry["layout"]),
+                )
+        assert_cluster_invariants(cluster, files)
+        return len(pending)

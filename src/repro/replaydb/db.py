@@ -9,13 +9,20 @@ to cluster file migrations for the Fig. 5 bar charts.
 from __future__ import annotations
 
 import json
+import os
 import sqlite3
 from collections.abc import Iterable
+from pathlib import Path
 
 import numpy as np
 
 from repro.errors import ReplayDBError
 from repro.replaydb.records import AccessRecord, MovementRecord
+
+#: the documented default: a private in-memory database (fast, unshared,
+#: gone when the process exits -- simulation runs that need durability
+#: pass a real path or use :meth:`ReplayDB.snapshot_to`)
+MEMORY = ":memory:"
 
 #: numeric access fields served by the columnar probe query, in SELECT order
 PROBE_FIELDS: tuple[str, ...] = (
@@ -57,25 +64,114 @@ CREATE INDEX IF NOT EXISTS idx_movements_ts ON movements(timestamp);
 class ReplayDB:
     """Access/movement telemetry store.
 
-    Defaults to an in-memory database (the common case for simulation
-    runs); pass a path for persistence across processes.  Usable as a
-    context manager.
+    Defaults to :data:`MEMORY` -- a private in-memory database, the common
+    case for simulation runs, which costs nothing to create and vanishes
+    with the process.  Pass a filesystem path (``str`` or
+    :class:`~pathlib.Path`) for persistence across processes; on-disk
+    databases run in WAL mode so readers never block the writer and a
+    crash can roll back at most the last uncommitted transaction.  Usable
+    as a context manager; :meth:`close` releases the file handle (and is
+    idempotent), after which any further operation raises
+    :class:`~repro.errors.ReplayDBError`.
     """
 
-    def __init__(self, path: str = ":memory:") -> None:
-        self._conn = sqlite3.connect(path)
-        self._conn.executescript(_SCHEMA)
-        self._conn.commit()
+    def __init__(self, path: str | os.PathLike = MEMORY) -> None:
+        if isinstance(path, os.PathLike):
+            path = os.fspath(path)
+        if not isinstance(path, str) or not path:
+            raise ReplayDBError(
+                f"path must be a non-empty string or Path (or the "
+                f"{MEMORY!r} default), got {path!r}"
+            )
+        self.path = path
+        self._closed = False
+        self._raw_conn = sqlite3.connect(path)
+        if not self.in_memory:
+            # WAL survives crashes with at most the last transaction lost
+            # and lets checkpoint readers run alongside the writer;
+            # synchronous=NORMAL is WAL's intended durability pairing.
+            self._raw_conn.execute("PRAGMA journal_mode=WAL")
+            self._raw_conn.execute("PRAGMA synchronous=NORMAL")
+        self._raw_conn.executescript(_SCHEMA)
+        self._raw_conn.commit()
 
     # -- lifecycle -----------------------------------------------------------
+    @property
+    def in_memory(self) -> bool:
+        """Whether this database lives only in process memory."""
+        return self.path == MEMORY or self.path.startswith("file::memory:")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def _conn(self) -> sqlite3.Connection:
+        if self._closed:
+            raise ReplayDBError("ReplayDB is closed")
+        return self._raw_conn
+
     def close(self) -> None:
-        self._conn.close()
+        if not self._closed:
+            self._raw_conn.close()
+            self._closed = True
 
     def __enter__(self) -> "ReplayDB":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # -- snapshots -----------------------------------------------------------
+    def snapshot_to(self, path: str | os.PathLike) -> Path:
+        """Export a consistent point-in-time copy of the whole database.
+
+        Uses sqlite's online backup API, so it works for in-memory
+        databases and does not block other readers; the copy is staged
+        beside ``path`` and renamed into place, so a crash mid-export
+        never leaves a torn snapshot at the destination.
+        """
+        dest = Path(path)
+        tmp = dest.with_name(f".{dest.name}.tmp")
+        if tmp.exists():
+            tmp.unlink()
+        try:
+            target = sqlite3.connect(tmp)
+            try:
+                self._conn.backup(target)
+            finally:
+                target.close()
+            os.replace(tmp, dest)
+        except sqlite3.Error as exc:
+            raise ReplayDBError(f"snapshot to {dest} failed: {exc}") from exc
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        return dest
+
+    def load_snapshot(self, path: str | os.PathLike) -> "ReplayDB":
+        """Replace this database's entire contents with a snapshot's."""
+        source_path = os.fspath(path)
+        if not os.path.exists(source_path):
+            raise ReplayDBError(f"no snapshot at {source_path!r}")
+        try:
+            source = sqlite3.connect(source_path)
+            try:
+                source.backup(self._conn)
+            finally:
+                source.close()
+        except sqlite3.Error as exc:
+            raise ReplayDBError(
+                f"restoring snapshot {source_path!r} failed: {exc}"
+            ) from exc
+        return self
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: str | os.PathLike, path: str | os.PathLike = MEMORY
+    ) -> "ReplayDB":
+        """A new database (in-memory by default) filled from a snapshot."""
+        return cls(path).load_snapshot(snapshot)
 
     # -- writes ----------------------------------------------------------
     def insert_access(self, record: AccessRecord) -> int:

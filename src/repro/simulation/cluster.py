@@ -165,6 +165,27 @@ class StorageCluster:
         self._files[fid] = info
         return info
 
+    def restore_file(
+        self, fid: int, path: str, size_bytes: int, device: str
+    ) -> FileInfo:
+        """Re-register a file at its checkpointed placement.
+
+        The crash-recovery path: the placement was legal when the
+        checkpoint captured it, so availability and capacity admission are
+        bypassed -- a file may legitimately sit on a device that has since
+        stopped accepting *new* placements (or was checkpointed stranded
+        on an offline one).  The device must exist and the fid must be
+        fresh; recovery code re-validates the restored cluster against
+        :func:`repro.faults.invariants.assert_cluster_invariants` after
+        the full namespace is rebuilt.
+        """
+        if fid in self._files:
+            raise SimulationError(f"file {fid} already exists")
+        self.device(device)  # validate the device name only
+        info = FileInfo(fid=fid, path=path, size_bytes=size_bytes, device=device)
+        self._files[fid] = info
+        return info
+
     def file(self, fid: int) -> FileInfo:
         try:
             return self._files[fid]

@@ -225,3 +225,42 @@ class StorageDevice:
     def reset_stats(self) -> None:
         self.stats = DeviceStats()
         self._recent.clear()
+
+    # -- checkpointing -----------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable runtime state (spec excluded -- it is static).
+
+        Covers everything that influences future service times: the noise
+        RNG stream, the crowding window, fault flags, and the cumulative
+        stats, so a restored device replays the exact same access
+        durations as the original would have.
+        """
+        return {
+            "rng": self._rng.bit_generator.state,
+            "recent": [[t, b] for t, b in self._recent],
+            "stats": {
+                "accesses": self.stats.accesses,
+                "bytes_served": self.stats.bytes_served,
+                "busy_time": self.stats.busy_time,
+                "throughput_samples": list(self.stats.throughput_samples),
+            },
+            "available": self.available,
+            "online": self.online,
+            "degradation": self.degradation,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng"]
+        self._recent = deque(
+            (float(t), int(b)) for t, b in state["recent"]
+        )
+        stats = state["stats"]
+        self.stats = DeviceStats(
+            accesses=int(stats["accesses"]),
+            bytes_served=int(stats["bytes_served"]),
+            busy_time=float(stats["busy_time"]),
+            throughput_samples=[float(v) for v in stats["throughput_samples"]],
+        )
+        self.available = bool(state["available"])
+        self.online = bool(state["online"])
+        self.degradation = float(state["degradation"])

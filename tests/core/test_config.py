@@ -86,3 +86,41 @@ class TestResilienceKnobs:
         assert len(config.fault_schedule) == 2
         with pytest.raises(ConfigurationError):
             GeomancyConfig(fault_schedule=("reboot:file0@10",))
+
+
+class TestRecoveryKnobs:
+    def test_defaults(self):
+        config = GeomancyConfig()
+        assert config.checkpoint_every == 0
+        assert config.checkpoint_keep == 3
+        assert not config.guardrail_enabled
+        assert config.guardrail_window == 4
+        assert config.guardrail_regression_fraction == 0.5
+        assert config.guardrail_explode_factor == 10.0
+        assert config.guardrail_cooldown_runs == 3
+        assert config.fallback_policy == "static"
+
+    def test_checkpointing_disabled_by_zero(self):
+        assert GeomancyConfig(checkpoint_every=0).checkpoint_every == 0
+        assert GeomancyConfig(checkpoint_every=5).checkpoint_every == 5
+
+    def test_lru_fallback_accepted(self):
+        config = GeomancyConfig(fallback_policy="lru")
+        assert config.fallback_policy == "lru"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"checkpoint_every": -1},
+            {"checkpoint_keep": 0},
+            {"guardrail_window": 0},
+            {"guardrail_regression_fraction": 0.0},
+            {"guardrail_regression_fraction": 1.0},
+            {"guardrail_explode_factor": 1.0},
+            {"guardrail_cooldown_runs": 0},
+            {"fallback_policy": "random"},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            GeomancyConfig(**kwargs)

@@ -3,10 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.errors import ModelError
+from repro.errors import CheckpointCorruptError, ModelError
 from repro.nn.layers import Dense
-from repro.nn.model_zoo import build_model
+from repro.nn.model_zoo import MODEL_NUMBERS, build_model, is_recurrent
 from repro.nn.network import Sequential
+from repro.nn.optimizers import SGD, Adam
 from repro.nn.serialization import load_weights, save_weights
 
 
@@ -41,6 +42,154 @@ class TestRoundTrip:
         clone.build(6)
         load_weights(clone, path)
         np.testing.assert_array_equal(net.predict(x), clone.predict(x))
+
+
+class TestWholeZoo:
+    @pytest.mark.parametrize("number", MODEL_NUMBERS)
+    def test_every_architecture_round_trips_bit_for_bit(
+        self, number, tmp_path
+    ):
+        net = build_model(number, z=6, seed=1)
+        net.build(6)
+        path = tmp_path / "w.npz"
+        save_weights(net, path)
+        clone = build_model(number, z=6, seed=2)
+        clone.build(6)
+        load_weights(clone, path)
+        for original, restored in zip(net.layers, clone.layers):
+            assert set(original.params) == set(restored.params)
+            for name, param in original.params.items():
+                np.testing.assert_array_equal(param, restored.params[name])
+                assert restored.params[name].dtype == param.dtype
+        rng = np.random.default_rng(0)
+        shape = (10, 4, 6) if is_recurrent(number) else (10, 6)
+        x = rng.random(shape)
+        np.testing.assert_array_equal(net.predict(x), clone.predict(x))
+
+
+class TestOptimizerState:
+    def _fit(self, optimizer):
+        rng = np.random.default_rng(0)
+        x = rng.random((60, 6))
+        y = x.sum(axis=1)[:, None]
+        net = build_model(1, z=6, seed=1)
+        net.fit(x, y, epochs=5, optimizer=optimizer)
+        return net
+
+    def test_sgd_momentum_velocity_round_trips(self, tmp_path):
+        opt = SGD(learning_rate=0.01, momentum=0.9)
+        net = self._fit(opt)
+        assert opt.state_dict()  # momentum accumulated something
+        path = tmp_path / "w.npz"
+        save_weights(net, path, optimizer=opt)
+        restored = SGD(learning_rate=0.01, momentum=0.9)
+        clone = build_model(1, z=6, seed=2)
+        clone.build(6)
+        load_weights(clone, path, optimizer=restored)
+        original, loaded = opt.state_dict(), restored.state_dict()
+        assert set(original) == set(loaded)
+        for key in original:
+            np.testing.assert_array_equal(original[key], loaded[key])
+
+    def test_adam_moments_and_step_counts_round_trip(self, tmp_path):
+        opt = Adam(learning_rate=0.001)
+        net = self._fit(opt)
+        path = tmp_path / "w.npz"
+        save_weights(net, path, optimizer=opt)
+        restored = Adam(learning_rate=0.001)
+        clone = build_model(1, z=6, seed=2)
+        clone.build(6)
+        load_weights(clone, path, optimizer=restored)
+        original, loaded = opt.state_dict(), restored.state_dict()
+        assert set(original) == set(loaded)
+        for key in original:
+            np.testing.assert_array_equal(original[key], loaded[key])
+        assert any(key.startswith("t/") for key in loaded)
+
+    def test_resumed_training_matches_uninterrupted(self, tmp_path):
+        # Train 10 epochs straight vs 5 + checkpoint + 5: with momentum
+        # carried through the archive both runs land on the same weights.
+        rng = np.random.default_rng(0)
+        x = rng.random((60, 6))
+        y = x.sum(axis=1)[:, None]
+
+        straight = build_model(1, z=6, seed=1)
+        straight.fit(x, y, epochs=10, optimizer=SGD(0.01, momentum=0.9))
+
+        first = build_model(1, z=6, seed=1)
+        opt = SGD(0.01, momentum=0.9)
+        first.fit(x, y, epochs=5, optimizer=opt)
+        path = tmp_path / "w.npz"
+        save_weights(first, path, optimizer=opt)
+
+        second = build_model(1, z=6, seed=7)
+        second.build(6)
+        resumed_opt = SGD(0.01, momentum=0.9)
+        load_weights(second, path, optimizer=resumed_opt)
+        second.fit(x, y, epochs=5, optimizer=resumed_opt)
+
+        for a, b in zip(straight.layers, second.layers):
+            for name in a.params:
+                np.testing.assert_array_equal(a.params[name], b.params[name])
+
+    def test_archive_without_optimizer_state_is_a_noop(self, trained_model, tmp_path):
+        net, _ = trained_model
+        path = tmp_path / "w.npz"
+        save_weights(net, path)
+        opt = SGD(0.01, momentum=0.9)
+        clone = build_model(1, z=6, seed=3)
+        clone.build(6)
+        load_weights(clone, path, optimizer=opt)
+        assert opt.state_dict() == {}
+
+
+class TestDurability:
+    def test_save_is_atomic_over_existing_file(self, trained_model, tmp_path):
+        net, _ = trained_model
+        path = tmp_path / "w.npz"
+        save_weights(net, path)
+        before = path.read_bytes()
+
+        class Boom(RuntimeError):
+            pass
+
+        class Exploding:
+            # np.savez coerces each value; die after the archive is
+            # already partially written.
+            def __array__(self, dtype=None, copy=None):
+                raise Boom("die mid-serialization")
+
+        from repro.nn.serialization import atomic_write_npz
+
+        with pytest.raises(Boom):
+            atomic_write_npz(
+                path, {"a": np.ones(3), "b": Exploding()}
+            )
+        # The old archive is untouched and no temp junk remains.
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["w.npz"]
+
+    def test_bit_flip_detected_on_load(self, trained_model, tmp_path):
+        net, _ = trained_model
+        path = tmp_path / "w.npz"
+        save_weights(net, path)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        clone = build_model(1, z=6, seed=0)
+        clone.build(6)
+        with pytest.raises(CheckpointCorruptError):
+            load_weights(clone, path)
+
+    def test_truncation_detected_on_load(self, trained_model, tmp_path):
+        net, _ = trained_model
+        path = tmp_path / "w.npz"
+        save_weights(net, path)
+        path.write_bytes(path.read_bytes()[:100])
+        clone = build_model(1, z=6, seed=0)
+        clone.build(6)
+        with pytest.raises(CheckpointCorruptError):
+            load_weights(clone, path)
 
 
 class TestErrors:

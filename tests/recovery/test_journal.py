@@ -1,0 +1,118 @@
+"""Tests for the write-ahead layout journal."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.recovery.events import EventLog
+from repro.recovery.journal import LayoutJournal
+from repro.replaydb.records import MovementRecord
+from repro.simulation.cluster import StorageCluster
+from repro.simulation.device import DeviceSpec, StorageDevice
+from repro.workloads.files import FileSpec
+
+
+def _move(fid, src, dst, ok=True):
+    return MovementRecord(
+        fid=fid, src_device=src, dst_device=dst, timestamp=1.0,
+        bytes_moved=10, duration=0.1, succeeded=ok,
+    )
+
+
+@pytest.fixture
+def cluster():
+    devices = [
+        StorageDevice(
+            DeviceSpec(
+                name=name, fsid=fsid, read_gbps=1.0, write_gbps=1.0,
+                capacity_bytes=10**9,
+            )
+        )
+        for fsid, name in enumerate(("a", "b"))
+    ]
+    cluster = StorageCluster(devices)
+    cluster.add_file(0, "/f0", 100, "a")
+    cluster.add_file(1, "/f1", 100, "b")
+    return cluster
+
+
+@pytest.fixture
+def files():
+    return [
+        FileSpec(fid=0, path="/f0", size_bytes=100),
+        FileSpec(fid=1, path="/f1", size_bytes=100),
+    ]
+
+
+class TestAppendAndRead:
+    def test_intent_commit_round_trip(self, tmp_path):
+        journal = LayoutJournal(tmp_path / "j.jsonl")
+        txn = journal.log_intent({0: "b"}, t=1.0)
+        journal.log_commit(txn, [_move(0, "a", "b")], t=1.5)
+        entries = journal.entries()
+        assert [e["kind"] for e in entries] == ["intent", "commit"]
+        assert entries[0]["layout"] == {"0": "b"}
+        assert entries[1]["moves"] == [
+            {"fid": 0, "src": "a", "dst": "b", "ok": True}
+        ]
+        assert journal.pending_intents() == []
+
+    def test_txn_ids_monotonic_across_reopen(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        first = LayoutJournal(path)
+        txn = first.log_intent({0: "b"}, t=1.0)
+        reopened = LayoutJournal(path)
+        assert reopened.log_intent({1: "a"}, t=2.0) > txn
+
+    def test_pending_intents_survive_reopen(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = LayoutJournal(path)
+        committed = journal.log_intent({0: "b"}, t=1.0)
+        journal.log_commit(committed, [_move(0, "a", "b")], t=1.1)
+        journal.log_intent({1: "a"}, t=2.0)  # crash before commit
+        pending = LayoutJournal(path).pending_intents()
+        assert len(pending) == 1
+        assert pending[0]["layout"] == {"1": "a"}
+
+    def test_torn_final_line_ignored(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = LayoutJournal(path)
+        journal.log_intent({0: "b"}, t=1.0)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "commit", "txn": 0, "t"')  # torn append
+        assert len(LayoutJournal(path).entries()) == 1
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = LayoutJournal(path)
+        journal.log_intent({0: "b"}, t=1.0)
+        content = path.read_text()
+        path.write_text("not json\n" + content)
+        with pytest.raises(RecoveryError, match="corrupt"):
+            LayoutJournal(path).entries()
+
+
+class TestResolvePending:
+    def test_rollback_closes_pending_txns(self, tmp_path, cluster, files):
+        journal = LayoutJournal(tmp_path / "j.jsonl")
+        journal.log_intent({0: "b"}, t=1.0)  # crashed mid-flight
+        events = EventLog()
+        rolled = journal.resolve_pending(cluster, files, events, t=2.0, step=5)
+        assert rolled == 1
+        assert journal.pending_intents() == []
+        kinds = [e.kind for e in events]
+        assert kinds == ["journal-rollback"]
+        assert events.events[0].detail["files"] == [0]
+
+    def test_resolve_is_idempotent(self, tmp_path, cluster, files):
+        journal = LayoutJournal(tmp_path / "j.jsonl")
+        journal.log_intent({0: "b"}, t=1.0)
+        assert journal.resolve_pending(cluster, files, t=2.0) == 1
+        assert journal.resolve_pending(cluster, files, t=2.0) == 0
+
+    def test_resolve_checks_invariants(self, tmp_path, cluster, files):
+        from repro.errors import SimulationError
+
+        journal = LayoutJournal(tmp_path / "j.jsonl")
+        files = files + [FileSpec(fid=9, path="/ghost", size_bytes=1)]
+        with pytest.raises(SimulationError, match="invariants"):
+            journal.resolve_pending(cluster, files, t=1.0)

@@ -1,0 +1,103 @@
+"""Tests for ReplayDB lifecycle, on-disk mode, and snapshots."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReplayDBError
+from repro.replaydb.db import MEMORY, ReplayDB
+from repro.replaydb.records import AccessRecord
+
+
+def _access(fid=0, t=1):
+    return AccessRecord(
+        fid=fid, path=f"/f{fid}", ots=t, otms=0, cts=t + 1, ctms=0,
+        rb=100, wb=0, device="ssd", fsid=1,
+    )
+
+
+class TestConstruction:
+    def test_defaults_to_private_memory(self):
+        db = ReplayDB()
+        assert db.in_memory
+        assert db.path == MEMORY
+
+    def test_accepts_path_object(self, tmp_path):
+        db = ReplayDB(tmp_path / "telemetry.db")
+        assert not db.in_memory
+        assert Path(db.path) == tmp_path / "telemetry.db"
+        db.close()
+
+    def test_on_disk_runs_in_wal_mode(self, tmp_path):
+        db = ReplayDB(tmp_path / "t.db")
+        mode = db._conn.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+        db.close()
+
+    @pytest.mark.parametrize("bad", ["", None, 42])
+    def test_invalid_path_rejected(self, bad):
+        with pytest.raises(ReplayDBError, match="path"):
+            ReplayDB(bad)
+
+    def test_on_disk_persists_across_processes_handles(self, tmp_path):
+        path = tmp_path / "t.db"
+        first = ReplayDB(path)
+        first.insert_access(_access())
+        first.close()
+        second = ReplayDB(path)
+        assert second.access_count() == 1
+        second.close()
+
+
+class TestClose:
+    def test_operations_after_close_raise(self):
+        db = ReplayDB()
+        db.close()
+        with pytest.raises(ReplayDBError, match="closed"):
+            db.insert_access(_access())
+
+    def test_close_is_idempotent(self):
+        db = ReplayDB()
+        db.close()
+        db.close()
+        assert db.closed
+
+    def test_context_manager_closes(self, tmp_path):
+        with ReplayDB(tmp_path / "t.db") as db:
+            db.insert_access(_access())
+        assert db.closed
+
+
+class TestSnapshots:
+    def test_snapshot_round_trip_from_memory(self, tmp_path):
+        db = ReplayDB()
+        db.insert_access(_access(0, 1))
+        db.insert_access(_access(1, 2))
+        dest = db.snapshot_to(tmp_path / "snap.db")
+        restored = ReplayDB.from_snapshot(dest)
+        assert restored.access_count() == 2
+
+    def test_snapshot_leaves_no_staging_file(self, tmp_path):
+        db = ReplayDB()
+        db.insert_access(_access())
+        db.snapshot_to(tmp_path / "snap.db")
+        assert [p.name for p in tmp_path.iterdir()] == ["snap.db"]
+
+    def test_load_snapshot_replaces_contents(self, tmp_path):
+        source = ReplayDB()
+        source.insert_access(_access(0, 1))
+        snap = source.snapshot_to(tmp_path / "snap.db")
+        target = ReplayDB()
+        target.insert_access(_access(5, 9))
+        target.load_snapshot(snap)
+        assert target.access_count() == 1
+
+    def test_missing_snapshot_raises(self, tmp_path):
+        with pytest.raises(ReplayDBError, match="no snapshot"):
+            ReplayDB().load_snapshot(tmp_path / "nope.db")
+
+    def test_snapshot_of_closed_db_raises(self, tmp_path):
+        db = ReplayDB()
+        db.close()
+        with pytest.raises(ReplayDBError, match="closed"):
+            db.snapshot_to(tmp_path / "snap.db")

@@ -17,6 +17,7 @@ class TestParser:
             "fig4", "table1", "table2", "table3",
             "fig5a", "fig5b", "table4", "fig6", "synth-trace", "testbed",
             "robustness", "chaos", "overhead", "model-selection", "bench",
+            "recover", "resume",
         }
 
     def test_chaos_arguments_parse(self):
@@ -34,6 +35,37 @@ class TestParser:
         assert args.seed == 7
         assert args.schedule is None
         assert args.migration_failure_rate == 0.05
+
+    def test_recover_arguments_parse(self):
+        args = build_parser().parse_args([
+            "recover", "/tmp/ckpt", "--checkpoint-every", "3",
+            "--keep", "2", "--guardrail", "--fallback", "lru",
+            "--schedule", "kill:file0@120",
+            "--kill-at-run", "10", "--kill-point", "mid-checkpoint",
+        ])
+        assert args.checkpoint_dir == "/tmp/ckpt"
+        assert args.checkpoint_every == 3
+        assert args.keep == 2
+        assert args.guardrail
+        assert args.fallback == "lru"
+        assert args.schedule == ["kill:file0@120"]
+        assert args.kill_at_run == 10
+        assert args.kill_point == "mid-checkpoint"
+
+    def test_recover_defaults(self):
+        args = build_parser().parse_args(["recover", "/tmp/ckpt"])
+        assert args.checkpoint_every == 5
+        assert not args.guardrail
+        assert args.fallback == "static"
+        assert args.kill_at_run is None
+
+    def test_resume_requires_directory(self):
+        assert (
+            build_parser().parse_args(["resume", "/tmp/ckpt"]).checkpoint_dir
+            == "/tmp/ckpt"
+        )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["resume"])
 
     def test_scale_choices(self):
         args = build_parser().parse_args(["fig4", "--scale", "paper"])
