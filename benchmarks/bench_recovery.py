@@ -18,6 +18,7 @@ from pathlib import Path
 
 import pytest
 
+from _timing import summarize
 from repro.errors import SimulatedCrash
 from repro.experiments.recoverable import run_recoverable, resume_recoverable
 from repro.experiments.spec import TEST_SCALE
@@ -83,6 +84,9 @@ def _run_matrix() -> dict:
                 )
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
+    summary["recovery_time"] = summarize(
+        [cell["recovery_s"] for cell in summary["cells"]]
+    )
     return summary
 
 

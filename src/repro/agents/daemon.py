@@ -11,8 +11,12 @@ from __future__ import annotations
 from repro.agents.messages import LayoutCommand, TelemetryBatch
 from repro.agents.transport import InMemoryTransport
 from repro.errors import ReplayDBError
+from repro.observability import Observability, get_observability
+from repro.observability.logs import get_logger
 from repro.replaydb.db import ReplayDB
 from repro.replaydb.records import MovementRecord
+
+logger = get_logger("agents.daemon")
 
 
 class InterfaceDaemon:
@@ -23,41 +27,79 @@ class InterfaceDaemon:
         db: ReplayDB,
         telemetry: InMemoryTransport,
         commands: InMemoryTransport,
+        *,
+        obs: Observability | None = None,
     ) -> None:
         self.db = db
         self.telemetry = telemetry
         self.commands = commands
+        self.obs = obs if obs is not None else get_observability()
         self.batches_ingested = 0
         self.records_ingested = 0
         #: malformed messages counted and dropped instead of crashing the
         #: drain -- one bad batch must not strand everything queued behind it
         self.dead_letters = 0
+        metrics = self.obs.metrics
+        self._m_batches = metrics.counter(
+            "repro_agents_batches_ingested_total",
+            "telemetry batches stored into the ReplayDB",
+        )
+        self._m_records = metrics.counter(
+            "repro_agents_records_ingested_total",
+            "access records stored into the ReplayDB",
+        )
+        self._m_dead = metrics.counter(
+            "repro_agents_dead_letters_total",
+            "telemetry messages dropped as malformed or rejected",
+        )
+        self._m_layouts = metrics.counter(
+            "repro_agents_layout_commands_total",
+            "layout commands forwarded to the control agents",
+        )
 
     def pump_telemetry(self) -> int:
         """Drain pending telemetry batches into the ReplayDB.
 
         Returns the number of records stored.  Messages that are not
         telemetry batches (or batches the DB rejects) are dead-lettered --
-        counted and discarded -- so the rest of the queue still lands.
+        counted, logged at WARNING, and discarded -- so the rest of the
+        queue still lands.
         """
         stored = 0
-        for message in self.telemetry.receive_all():
-            if not isinstance(message, TelemetryBatch):
-                self.dead_letters += 1
-                continue
-            try:
-                self.db.insert_accesses(message.records)
-            except ReplayDBError:
-                self.dead_letters += 1
-                continue
-            self.batches_ingested += 1
-            stored += len(message.records)
+        with self.obs.span("replaydb_write"):
+            for message in self.telemetry.receive_all():
+                if not isinstance(message, TelemetryBatch):
+                    self.dead_letters += 1
+                    self._m_dead.inc()
+                    logger.warning(
+                        "dead-lettered non-telemetry message of type %s "
+                        "on the telemetry transport",
+                        type(message).__name__,
+                    )
+                    continue
+                try:
+                    self.db.insert_accesses(message.records)
+                except ReplayDBError as exc:
+                    self.dead_letters += 1
+                    self._m_dead.inc()
+                    logger.warning(
+                        "dead-lettered telemetry batch of %d records "
+                        "rejected by the ReplayDB: %s",
+                        len(message.records),
+                        exc,
+                    )
+                    continue
+                self.batches_ingested += 1
+                self._m_batches.inc()
+                stored += len(message.records)
         self.records_ingested += stored
+        self._m_records.inc(stored)
         return stored
 
     def send_layout(self, layout: dict[int, str], at: float) -> None:
         """Forward a layout decision to the control agents."""
         self.commands.send(LayoutCommand(layout=dict(layout), issued_at=at))
+        self._m_layouts.inc()
 
     def record_movements(self, moves: list[MovementRecord]) -> None:
         """Log executed movements so the layout evolution is queryable."""

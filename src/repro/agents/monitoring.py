@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.agents.messages import TelemetryBatch
 from repro.agents.transport import InMemoryTransport
 from repro.errors import AgentError
+from repro.observability import get_observability
 from repro.replaydb.records import AccessRecord
 
 
@@ -32,6 +33,15 @@ class MonitoringAgent:
         self.batch_size = int(batch_size)
         self._buffer: list[AccessRecord] = []
         self.observed = 0
+        metrics = get_observability().metrics
+        self._m_observed = metrics.counter(
+            "repro_agents_accesses_observed_total",
+            "accesses seen by the monitoring agents",
+        )
+        self._m_batches_sent = metrics.counter(
+            "repro_agents_telemetry_batches_sent_total",
+            "telemetry batches sent toward the Interface Daemon",
+        )
 
     def observe(self, record: AccessRecord) -> None:
         """Record one access on this agent's device.
@@ -46,6 +56,7 @@ class MonitoringAgent:
             )
         self._buffer.append(record)
         self.observed += 1
+        self._m_observed.inc()
         if len(self._buffer) >= self.batch_size:
             self.flush(at=record.close_time)
 
@@ -58,6 +69,7 @@ class MonitoringAgent:
         )
         self._buffer.clear()
         self.transport.send(batch)
+        self._m_batches_sent.inc()
         return True
 
     @property

@@ -16,6 +16,12 @@
     python -m repro robustness --workers 4 --seeds 0 1 2 3
     python -m repro recover ckpt/ --checkpoint-every 5 --guardrail
     python -m repro resume ckpt/          # restart a killed recover run
+    python -m repro run --trace out.json --metrics-snapshot m.jsonl --profile
+    python -m repro metrics               # Prometheus dump of a run
+    python -m repro trace out.json        # Chrome-trace of a run
+
+``--log-level``/``--log-json`` (before the subcommand) turn on module
+logging for every ``repro.*`` logger.
 
 ``--workers N`` (fig5a/fig5b/table2/robustness/bench) spreads the
 experiment's (policy x seed / model) grid over N processes; results are
@@ -56,6 +62,30 @@ def _add_common(parser: argparse.ArgumentParser, *, default_seed: int) -> None:
     )
 
 
+def _add_observability(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the final Prometheus metrics dump here",
+    )
+    parser.add_argument(
+        "--metrics-snapshot", default=None, metavar="PATH",
+        help="append a JSONL metrics snapshot here every N measured runs",
+    )
+    parser.add_argument(
+        "--snapshot-every", type=int, default=1, metavar="N",
+        help="measured runs between JSONL snapshots (default: 1)",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write the Chrome-trace JSON here (load in chrome://tracing)",
+    )
+    parser.add_argument(
+        "--sample-rate", type=float, default=1.0,
+        help="fraction of ticks to trace, sampled deterministically by "
+             "tick id (default: 1.0)",
+    )
+
+
 def _add_workers(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=int, default=1,
@@ -70,6 +100,18 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate tables/figures of the Geomancy paper "
                     "(ISPASS 2020).",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error", "critical"),
+        default=None,
+        help="enable module logging for repro.* at this level "
+             "(default: logging stays unconfigured)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit log records as one JSON object per line "
+             "(implies --log-level warning unless set)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -236,6 +278,53 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--rows", type=int, default=5000)
     trace.add_argument("--seed", type=int, default=0)
 
+    run = sub.add_parser(
+        "run",
+        help="one fully observed control loop (metrics + spans + events)",
+    )
+    _add_common(run, default_seed=0)
+    _add_observability(run)
+    run.add_argument(
+        "--profile", action="store_true",
+        help="wrap the measured phase in cProfile and print a top-N table",
+    )
+    run.add_argument(
+        "--profile-top", type=int, default=15, metavar="N",
+        help="rows in the cProfile table (default: 15)",
+    )
+    run.add_argument(
+        "--schedule", nargs="+", metavar="SPEC", default=(),
+        help="absolute-time fault specs to inject, e.g. 'outage:pic@40+30'",
+    )
+    run.add_argument(
+        "--migration-failure-rate", type=float, default=0.0,
+        help="probability each file move aborts mid-transfer (default: 0)",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run the observed control loop; print its Prometheus dump",
+    )
+    _add_common(metrics, default_seed=0)
+    metrics.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the dump to this file",
+    )
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="run the observed control loop; write its Chrome-trace JSON",
+    )
+    _add_common(trace_cmd, default_seed=0)
+    trace_cmd.add_argument(
+        "output", help="Chrome-trace output path (load in chrome://tracing)"
+    )
+    trace_cmd.add_argument(
+        "--sample-rate", type=float, default=1.0,
+        help="fraction of ticks to trace, sampled deterministically by "
+             "tick id (default: 1.0)",
+    )
+
     return parser
 
 
@@ -398,6 +487,50 @@ def _run_resume(args) -> str:
     return resume_recoverable(args.checkpoint_dir).to_text()
 
 
+def _run_run(args) -> str:
+    from repro.experiments.instrumented import run_instrumented
+
+    return run_instrumented(
+        scale=_SCALES[args.scale],
+        seed=args.seed,
+        metrics_path=args.metrics,
+        metrics_snapshot_path=args.metrics_snapshot,
+        snapshot_every=args.snapshot_every,
+        trace_path=args.trace,
+        profile=args.profile,
+        schedule_specs=tuple(args.schedule),
+        migration_failure_rate=args.migration_failure_rate,
+        trace_sample_rate=args.sample_rate,
+    ).to_text(profile_top=args.profile_top)
+
+
+def _run_metrics(args) -> str:
+    from repro.experiments.instrumented import run_instrumented
+
+    result = run_instrumented(
+        scale=_SCALES[args.scale], seed=args.seed, metrics_path=args.out
+    )
+    return result.prometheus.rstrip("\n")
+
+
+def _run_trace(args) -> str:
+    from repro.experiments.instrumented import run_instrumented
+
+    result = run_instrumented(
+        scale=_SCALES[args.scale],
+        seed=args.seed,
+        trace_path=args.output,
+        trace_sample_rate=args.sample_rate,
+    )
+    summary = (
+        f"wrote {result.spans_recorded} spans to {args.output}\n"
+        "open chrome://tracing (or https://ui.perfetto.dev) and load it"
+    )
+    if result.attribution is not None:
+        summary += "\n\n" + result.attribution.to_text()
+    return summary
+
+
 def _run_testbed(args) -> str:
     from repro.simulation.bluesky import describe_bluesky
 
@@ -431,11 +564,18 @@ _COMMANDS = {
     "model-selection": _run_model_selection,
     "testbed": _run_testbed,
     "synth-trace": _run_synth_trace,
+    "run": _run_run,
+    "metrics": _run_metrics,
+    "trace": _run_trace,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level is not None or args.log_json:
+        from repro.observability.logs import configure
+
+        configure(args.log_level or "warning", json_format=args.log_json)
     print(_COMMANDS[args.command](args))
     return 0
 

@@ -15,6 +15,7 @@ from repro.errors import ConfigurationError
 from repro.faults.schedule import parse_fault_event
 from repro.features.pipeline import DEFAULT_LIVE_FEATURES
 from repro.nn.model_zoo import ARCHITECTURES
+from repro.observability.metrics import DEFAULT_BUCKETS
 
 
 @dataclass
@@ -98,6 +99,25 @@ class GeomancyConfig:
     guardrail_cooldown_runs: int = 3
     #: policy used while demoted: "static" (hold layout) or "lru"
     fallback_policy: str = "static"
+    #: -- observability (repro.observability) -----------------------------
+    #: master switch for the metrics/tracing/event instrumentation; off by
+    #: default so ordinary experiment runs pay only no-op handles
+    observability_enabled: bool = False
+    #: record counters/gauges/histograms (requires observability_enabled)
+    metrics_enabled: bool = True
+    #: record control-loop spans (requires observability_enabled)
+    trace_enabled: bool = True
+    #: fraction of control ticks whose spans are recorded; sampling is
+    #: deterministic in the tick index, never an RNG draw
+    trace_sample_rate: float = 1.0
+    #: histogram bucket upper bounds (seconds) for latency metrics
+    histogram_buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    #: JSONL sink the instrumented harness appends metric snapshots to
+    #: (None disables the sink)
+    metrics_snapshot_path: str | None = None
+    #: Chrome-trace JSON path the instrumented harness exports spans to
+    #: (None disables the export)
+    trace_path: str | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -208,6 +228,25 @@ class GeomancyConfig:
             raise ConfigurationError(
                 f"fallback_policy must be 'static' or 'lru', "
                 f"got {self.fallback_policy!r}"
+            )
+        if not 0.0 < self.trace_sample_rate <= 1.0:
+            raise ConfigurationError(
+                f"trace_sample_rate must be in (0, 1], "
+                f"got {self.trace_sample_rate}"
+            )
+        # Checkpoint round trips deserialize tuples as lists; normalize.
+        self.histogram_buckets = tuple(
+            float(b) for b in self.histogram_buckets
+        )
+        if not self.histogram_buckets:
+            raise ConfigurationError("histogram_buckets must be non-empty")
+        if any(
+            b2 <= b1
+            for b1, b2 in zip(self.histogram_buckets, self.histogram_buckets[1:])
+        ):
+            raise ConfigurationError(
+                f"histogram_buckets must be strictly increasing, "
+                f"got {self.histogram_buckets}"
             )
         for spec in self.fault_schedule:
             # Raises ConfigurationError on a malformed entry.

@@ -26,6 +26,7 @@ from repro.nn.metrics import is_diverged, mean_absolute_relative_error
 from repro.nn.model_zoo import build_model, is_recurrent
 from repro.nn.network import train_val_test_split
 from repro.nn.optimizers import get_optimizer
+from repro.observability import Observability, get_observability
 from repro.replaydb.db import ReplayDB
 from repro.replaydb.records import AccessRecord
 
@@ -102,8 +103,14 @@ class TrainingReport:
 class DRLEngine:
     """Trains on ReplayDB telemetry; predicts throughput per location."""
 
-    def __init__(self, config: GeomancyConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: GeomancyConfig | None = None,
+        *,
+        obs: Observability | None = None,
+    ) -> None:
         self.config = config if config is not None else GeomancyConfig()
+        self.obs = obs if obs is not None else get_observability()
         self.pipeline = FeaturePipeline(
             self.config.features,
             smoothing_window=self.config.smoothing_window,
@@ -120,6 +127,25 @@ class DRLEngine:
         #: the most recent propose_layout call -- the "promise" the safe-mode
         #: guardrail compares realized throughput against
         self.last_predicted_mean: float | None = None
+        metrics = self.obs.metrics
+        self._m_trainings = metrics.counter(
+            "repro_nn_trainings_total", "engine (re)training cycles"
+        )
+        self._m_predictions = metrics.counter(
+            "repro_nn_predictions_total",
+            "probe rows scored by forward passes",
+        )
+        self._h_train = metrics.histogram(
+            "repro_nn_train_seconds", "wall seconds per training cycle"
+        )
+        self._g_test_mare = metrics.gauge(
+            "repro_nn_test_mare_percent",
+            "held-out mean absolute relative error of the latest training",
+        )
+        self._g_skillful = metrics.gauge(
+            "repro_nn_skillful",
+            "1 when the latest model out-predicts the constant baseline",
+        )
 
     def _fresh_model(self):
         return build_model(
@@ -142,64 +168,74 @@ class DRLEngine:
             raise ModelError(
                 f"need at least 10 records to train, got {len(records)}"
             )
-        # Normalization bounds are learned once and then frozen: a
-        # warm-started model must see consistently scaled inputs/targets
-        # across cycles (later values beyond the bounds extrapolate
-        # linearly, which the normalizer supports).
-        self.pipeline.ensure_fitted(records)
-        x = self.pipeline.transform_features(records)
-        y = self.pipeline.transform_target(records)
-        if self._recurrent:
-            x, y = make_windows(x, y, self.config.timesteps)
-        xt, yt, xv, yv, xs, ys = train_val_test_split(x, y)
-        if not (self.config.warm_start and self.trained):
-            self.model = self._fresh_model()
-        optimizer = get_optimizer(
-            self.config.optimizer, learning_rate=self.config.learning_rate
-        )
-        start = time.perf_counter()
-        history = self.model.fit(
-            xt, yt,
-            epochs=self.config.epochs,
-            batch_size=self.config.batch_size,
-            optimizer=optimizer,
-            validation_data=(xv, yv) if len(xv) else None,
-        )
-        elapsed = time.perf_counter() - start
-        # Calibrate and score in physical units (bytes/s): relative error on
-        # the normalized [0, 1] scale explodes near its zero point, while
-        # the paper's Table II/III errors are on measured throughput.
-        calib_x, calib_y = (xv, yv) if len(xv) else (xt, yt)
-        self.adjuster.fit(
-            self.pipeline.inverse_transform_target(
-                self.model.predict(calib_x).ravel()
-            ),
-            self.pipeline.inverse_transform_target(calib_y),
-        )
-        test_x, test_y = (xs, ys) if len(xs) else (xt, yt)
-        test_pred = self.pipeline.inverse_transform_target(
-            self.model.predict(test_x).ravel()
-        )
-        test_true = self.pipeline.inverse_transform_target(test_y)
-        mare, mare_std = mean_absolute_relative_error(test_pred, test_true)
-        train_mean = float(
-            np.mean(self.pipeline.inverse_transform_target(yt))
-        )
-        constant_mare, _ = mean_absolute_relative_error(
-            np.full_like(test_true, train_mean), test_true
-        )
-        report = TrainingReport(
-            samples=len(records),
-            epochs=history.epochs_run,
-            train_seconds=elapsed,
-            test_mare=mare,
-            test_mare_std=mare_std,
-            constant_mare=constant_mare,
-            diverged=history.diverged or is_diverged(test_pred, test_true),
-            adjustment_mae=self.adjuster.mae,
-            adjustment_sign=self.adjuster.sign,
-        )
+        with self.obs.span("train_step", samples=len(records)):
+            # Normalization bounds are learned once and then frozen: a
+            # warm-started model must see consistently scaled inputs/targets
+            # across cycles (later values beyond the bounds extrapolate
+            # linearly, which the normalizer supports).
+            with self.obs.span("feature_pipeline"):
+                self.pipeline.ensure_fitted(records)
+                x = self.pipeline.transform_features(records)
+                y = self.pipeline.transform_target(records)
+                if self._recurrent:
+                    x, y = make_windows(x, y, self.config.timesteps)
+                xt, yt, xv, yv, xs, ys = train_val_test_split(x, y)
+            if not (self.config.warm_start and self.trained):
+                self.model = self._fresh_model()
+            optimizer = get_optimizer(
+                self.config.optimizer, learning_rate=self.config.learning_rate
+            )
+            start = time.perf_counter()
+            with self.obs.span("model_fit", epochs=self.config.epochs):
+                history = self.model.fit(
+                    xt, yt,
+                    epochs=self.config.epochs,
+                    batch_size=self.config.batch_size,
+                    optimizer=optimizer,
+                    validation_data=(xv, yv) if len(xv) else None,
+                )
+            elapsed = time.perf_counter() - start
+            # Calibrate and score in physical units (bytes/s): relative
+            # error on the normalized [0, 1] scale explodes near its zero
+            # point, while the paper's Table II/III errors are on measured
+            # throughput.
+            calib_x, calib_y = (xv, yv) if len(xv) else (xt, yt)
+            self.adjuster.fit(
+                self.pipeline.inverse_transform_target(
+                    self.model.predict(calib_x).ravel()
+                ),
+                self.pipeline.inverse_transform_target(calib_y),
+            )
+            test_x, test_y = (xs, ys) if len(xs) else (xt, yt)
+            test_pred = self.pipeline.inverse_transform_target(
+                self.model.predict(test_x).ravel()
+            )
+            test_true = self.pipeline.inverse_transform_target(test_y)
+            mare, mare_std = mean_absolute_relative_error(test_pred, test_true)
+            train_mean = float(
+                np.mean(self.pipeline.inverse_transform_target(yt))
+            )
+            constant_mare, _ = mean_absolute_relative_error(
+                np.full_like(test_true, train_mean), test_true
+            )
+            report = TrainingReport(
+                samples=len(records),
+                epochs=history.epochs_run,
+                train_seconds=elapsed,
+                test_mare=mare,
+                test_mare_std=mare_std,
+                constant_mare=constant_mare,
+                diverged=(
+                    history.diverged or is_diverged(test_pred, test_true)
+                ),
+                adjustment_mae=self.adjuster.mae,
+                adjustment_sign=self.adjuster.sign,
+            )
         self.last_report = report
+        self._m_trainings.inc()
+        self._h_train.observe(elapsed)
+        self._g_test_mare.set(report.test_mare)
+        self._g_skillful.set(1.0 if report.skillful else 0.0)
         return report
 
     def train(self, db: ReplayDB) -> TrainingReport:
@@ -289,10 +325,12 @@ class DRLEngine:
         self, probe: np.ndarray, n_bases: int, n_fsids: int
     ) -> np.ndarray:
         """One forward pass + vectorized post-processing over a probe."""
-        predictions = self.model.predict(probe).ravel()
-        throughput = self.pipeline.inverse_transform_target(predictions)
-        if self.config.adjust_predictions:
-            throughput = self.adjuster.adjust(throughput)
+        with self.obs.span("model_predict", rows=len(probe)):
+            predictions = self.model.predict(probe).ravel()
+            throughput = self.pipeline.inverse_transform_target(predictions)
+            if self.config.adjust_predictions:
+                throughput = self.adjuster.adjust(throughput)
+        self._m_predictions.inc(len(probe))
         return throughput.reshape(n_bases, n_fsids)
 
     def _gather_probe_bases(
@@ -432,37 +470,41 @@ class DRLEngine:
             raise ModelError("engine must be trained before predicting")
         if not device_by_fsid:
             raise ModelError("no candidate locations supplied")
-        fsids = sorted(device_by_fsid)
-        per_fid, raw = self._gather_probe_bases(db, fids)
-        layout: dict[int, str] = {}
-        gains: dict[int, float] = {}
-        chosen_scores: list[float] = []
-        if raw is None:
-            self.last_predicted_mean = None
+        with self.obs.span("propose_layout", files=len(fids)):
+            fsids = sorted(device_by_fsid)
+            per_fid, raw = self._gather_probe_bases(db, fids)
+            layout: dict[int, str] = {}
+            gains: dict[int, float] = {}
+            chosen_scores: list[float] = []
+            if raw is None:
+                self.last_predicted_mean = None
+                return layout, gains
+            probe = self.pipeline.build_location_probe_from_matrix(
+                raw, fsids
+            )
+            matrix = self._predict_probe(probe, len(raw), len(fsids))
+            for fid in fids:
+                span = per_fid.get(fid)
+                if span is None:
+                    continue
+                start, stop, current_fsid = span
+                # Average the per-location scores over several recent
+                # accesses: a single access's features carry noise (burst
+                # position, request size) that would otherwise whipsaw
+                # placements.
+                totals = _ordered_column_sum(matrix[start:stop])
+                scores = {
+                    fsid: float(total) / (stop - start)
+                    for fsid, total in zip(fsids, totals)
+                }
+                best, gain = self._choose_placement(scores, current_fsid)
+                layout[fid] = device_by_fsid[best]
+                gains[fid] = gain
+                chosen_scores.append(scores[best])
+            self.last_predicted_mean = (
+                float(np.mean(chosen_scores)) if chosen_scores else None
+            )
             return layout, gains
-        probe = self.pipeline.build_location_probe_from_matrix(raw, fsids)
-        matrix = self._predict_probe(probe, len(raw), len(fsids))
-        for fid in fids:
-            span = per_fid.get(fid)
-            if span is None:
-                continue
-            start, stop, current_fsid = span
-            # Average the per-location scores over several recent accesses:
-            # a single access's features carry noise (burst position,
-            # request size) that would otherwise whipsaw placements.
-            totals = _ordered_column_sum(matrix[start:stop])
-            scores = {
-                fsid: float(total) / (stop - start)
-                for fsid, total in zip(fsids, totals)
-            }
-            best, gain = self._choose_placement(scores, current_fsid)
-            layout[fid] = device_by_fsid[best]
-            gains[fid] = gain
-            chosen_scores.append(scores[best])
-        self.last_predicted_mean = (
-            float(np.mean(chosen_scores)) if chosen_scores else None
-        )
-        return layout, gains
 
     def propose_layout_reference(
         self,

@@ -27,6 +27,7 @@ from repro.core.layout import as_layout, cap_moves, layout_diff
 from repro.core.scheduler import AccessGapScheduler, CooldownScheduler
 from repro.errors import AgentError, ConfigurationError
 from repro.faults.health import HealthTracker
+from repro.observability import Observability, get_observability
 from repro.policies.static import EvenSpreadPolicy
 from repro.recovery.events import EventLog
 from repro.replaydb.db import ReplayDB
@@ -75,12 +76,17 @@ class Geomancy:
         telemetry: InMemoryTransport | None = None,
         journal=None,
         event_log: EventLog | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if not files:
             raise ConfigurationError("Geomancy needs a workload file set")
         self.cluster = cluster
         self.files = list(files)
         self.config = config if config is not None else GeomancyConfig()
+        #: the observability instance the whole control plane reports to;
+        #: defaults to whatever is installed process-wide (a no-op unless
+        #: a run enabled it)
+        self.obs = obs if obs is not None else get_observability()
         self.db = db if db is not None else ReplayDB()
         # The telemetry channel is injectable so chaos runs can swap in a
         # lossy transport; the command channel stays internal.
@@ -91,10 +97,15 @@ class Geomancy:
         #: when set, every dispatched layout is bracketed by intent/commit
         #: records so a crash mid-movement is resolvable on restore
         self.journal = journal
-        #: structured recovery telemetry (rescues, rollbacks, trips)
-        self.event_log = event_log if event_log is not None else EventLog()
+        #: structured recovery telemetry (rescues, rollbacks, trips),
+        #: bridged onto the observability event bus
+        self.event_log = (
+            event_log if event_log is not None else EventLog(bus=self.obs.bus)
+        )
         self.commands = InMemoryTransport()
-        self.daemon = InterfaceDaemon(self.db, self.telemetry, self.commands)
+        self.daemon = InterfaceDaemon(
+            self.db, self.telemetry, self.commands, obs=self.obs
+        )
         self.monitors = {
             name: MonitoringAgent(name, self.telemetry)
             for name in cluster.device_names
@@ -109,7 +120,7 @@ class Geomancy:
             retry_backoff_s=self.config.retry_backoff_s,
             health=self.health,
         )
-        self.engine = DRLEngine(self.config)
+        self.engine = DRLEngine(self.config, obs=self.obs)
         self.checker = ActionChecker(
             self.config.exploration_rate, seed=self.config.seed
         )
@@ -118,6 +129,32 @@ class Geomancy:
             AccessGapScheduler() if self.config.use_gap_scheduler else None
         )
         self.outcomes: list[StepOutcome] = []
+        metrics = self.obs.metrics
+        self._m_ticks = metrics.counter(
+            "repro_engine_ticks_total", "control-loop consultations"
+        )
+        self._m_acted = metrics.counter(
+            "repro_engine_acted_cycles_total",
+            "cycles that dispatched a model-proposed layout",
+        )
+        self._m_skipped = metrics.counter(
+            "repro_engine_skipped_cycles_total",
+            "trained cycles vetoed by skill/sanity/gain gates",
+        )
+        self._m_moves_ok = metrics.counter(
+            "repro_engine_moves_succeeded_total", "file moves that completed"
+        )
+        self._m_moves_failed = metrics.counter(
+            "repro_engine_moves_failed_total", "file moves that aborted"
+        )
+        self._m_rescued = metrics.counter(
+            "repro_engine_files_rescued_total",
+            "files rescued off offline devices",
+        )
+        self._g_predicted = metrics.gauge(
+            "repro_engine_predicted_gbps",
+            "mean predicted throughput at the latest chosen placements",
+        )
 
     # -- placement -----------------------------------------------------------
     def place_initial(self, layout: dict[int, str] | None = None) -> dict[int, str]:
@@ -175,21 +212,35 @@ class Geomancy:
         the commit after every movement has settled, so a crash in
         between leaves a pending intent the recovery path rolls back.
         """
-        txn = (
-            self.journal.log_intent(layout, t=t)
-            if self.journal is not None
-            else None
-        )
-        self.daemon.send_layout(layout, at=t)
-        command = self.commands.receive()
-        if not isinstance(command, LayoutCommand):
-            raise AgentError(
-                f"command channel carried {type(command).__name__}"
+        with self.obs.span("movement_dispatch", files=len(layout)):
+            txn = (
+                self.journal.log_intent(layout, t=t)
+                if self.journal is not None
+                else None
             )
-        movements = self.control.execute(command)
-        self.daemon.record_movements(movements)
-        if txn is not None:
-            self.journal.log_commit(txn, movements, t=t)
+            self.daemon.send_layout(layout, at=t)
+            command = self.commands.receive()
+            if not isinstance(command, LayoutCommand):
+                raise AgentError(
+                    f"command channel carried {type(command).__name__}"
+                )
+            movements = self.control.execute(command)
+            self.daemon.record_movements(movements)
+            if txn is not None:
+                self.journal.log_commit(txn, movements, t=t)
+        succeeded = sum(1 for m in movements if m.succeeded)
+        failed = len(movements) - succeeded
+        self._m_moves_ok.inc(succeeded)
+        self._m_moves_failed.inc(failed)
+        if movements and self.obs.enabled:
+            self.obs.emit(
+                "movement-dispatched",
+                t=t,
+                step=len(self.outcomes) - 1,
+                attempted=len(movements),
+                succeeded=succeeded,
+                failed=failed,
+            )
         return movements
 
     def _drive_retries(self, outcome: StepOutcome, t: float) -> None:
@@ -234,6 +285,7 @@ class Geomancy:
         """
         outcome = StepOutcome(run_index=run_index)
         self.outcomes.append(outcome)
+        self._m_ticks.inc()
         if not self.scheduler.should_move(run_index):
             return outcome
         # Only devices currently accepting placements -- and not
@@ -247,9 +299,11 @@ class Geomancy:
         # rescued before (and regardless of) any model-driven layout.
         rescue = self._rescue_layout(available)
         if rescue:
-            rescued = self._dispatch(rescue, t)
+            with self.obs.span("rescue", files=len(rescue)):
+                rescued = self._dispatch(rescue, t)
             outcome.movements.extend(rescued)
             outcome.rescued_files = sum(1 for m in rescued if m.succeeded)
+            self._m_rescued.inc(outcome.rescued_files)
             self.event_log.emit(
                 "stranded-file-rescued",
                 t=t,
@@ -270,6 +324,7 @@ class Geomancy:
         ):
             # A diverged or skill-less model's layout would be noise; skip
             # this cycle and let the next retraining try again.
+            self._m_skipped.inc()
             self._drive_retries(outcome, t)
             return outcome
         device_by_fsid = {
@@ -278,12 +333,16 @@ class Geomancy:
         if not device_by_fsid:
             self._drive_retries(outcome, t)
             return outcome
-        if (
-            self.config.require_ranking_sanity
-            and self.engine.ranking_correlation(self.db, device_by_fsid) < 0.0
-        ):
+        with self.obs.span("ranking_check"):
+            ranking_ok = not (
+                self.config.require_ranking_sanity
+                and self.engine.ranking_correlation(self.db, device_by_fsid)
+                < 0.0
+            )
+        if not ranking_ok:
             # The model currently ranks devices opposite to what telemetry
             # shows; acting on it would herd files onto the worst mounts.
+            self._m_skipped.inc()
             self._drive_retries(outcome, t)
             return outcome
         fids = [spec.fid for spec in self.files]
@@ -294,13 +353,17 @@ class Geomancy:
             outcome.predicted_gbps = (
                 self.engine.last_predicted_mean / BYTES_PER_GB
             )
+            self._g_predicted.set(outcome.predicted_gbps)
         current = {
             fid: device for fid, device in self.cluster.layout().items()
             if fid in set(fids)
         }
-        checked = self.checker.check(proposal, set(available), current)
-        changes = layout_diff(current, checked)
-        changes = cap_moves(changes, self.config.max_files_per_move, gains)
+        with self.obs.span("action_check", proposals=len(proposal)):
+            checked = self.checker.check(proposal, set(available), current)
+            changes = layout_diff(current, checked)
+            changes = cap_moves(
+                changes, self.config.max_files_per_move, gains
+            )
         if self.gap_scheduler is not None:
             # Section X extension: only move files whose observed access
             # gaps accommodate the transfer ("We will not consider moving
@@ -316,8 +379,10 @@ class Geomancy:
                 )
             ]
         if not changes:
+            self._m_skipped.inc()
             self._drive_retries(outcome, t)
             return outcome
+        self._m_acted.inc()
         outcome.movements.extend(self._dispatch(as_layout(changes), t))
         return outcome
 

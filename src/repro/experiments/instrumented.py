@@ -1,0 +1,295 @@
+"""The fully observed Geomancy control loop.
+
+``run_instrumented`` drives the standard warm-up + measured Belle II
+loop with a live :class:`~repro.observability.Observability` instance
+installed process-wide, so every subsystem's cached metric handles are
+real and every control-loop stage runs under a span:
+
+* each measured run is one **tick** (the per-tick trace root), with
+  ``simulator_advance`` -> ``telemetry_collect`` -> ``telemetry_flush``
+  (containing the daemon's ``replaydb_write``) -> the Geomancy decision
+  spans (``train_step``/``model_fit``, ``propose_layout``/
+  ``model_predict``, ``action_check``, ``movement_dispatch``) nested
+  beneath it;
+* counters/gauges/histograms from every subsystem land in one
+  :class:`~repro.observability.metrics.MetricsRegistry`, exportable as
+  Prometheus text or appended as JSONL snapshots every
+  ``snapshot_every`` runs;
+* the event bus carries fault injections, circuit-breaker transitions,
+  rescues and movement dispatches through one subscriber API.
+
+Instrumentation never touches an RNG or the simulated clock, so the
+run's *outputs* (layout, movements, throughput) are bit-for-bit
+identical whether observability is enabled or not -- the overhead
+benchmark and the integration tests both lean on that.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import GeomancyConfig
+from repro.core.geomancy import Geomancy
+from repro.errors import ExperimentError
+from repro.experiments.harness import make_experiment_config
+from repro.experiments.reporting import ascii_table
+from repro.experiments.spec import ExperimentScale, TEST_SCALE
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
+from repro.observability import Observability, use
+from repro.observability.profiling import (
+    ProfileReport,
+    SpanAttribution,
+    profile_call,
+    span_attribution,
+)
+from repro.replaydb.db import ReplayDB
+from repro.replaydb.records import MovementRecord
+from repro.simulation.bluesky import make_bluesky_cluster
+from repro.workloads.belle2 import Belle2Workload
+from repro.workloads.files import belle2_file_population
+from repro.workloads.runner import WorkloadRunner
+
+#: the workload access stream seed every control-loop harness shares
+WORKLOAD_SEED = 1
+
+
+@dataclass
+class InstrumentedRunResult:
+    """Outcome of one observed control loop, plus its telemetry."""
+
+    seed: int
+    scale_name: str
+    runs_completed: int
+    accesses: int
+    mean_gbps: float
+    final_layout: dict[int, str]
+    movements: list[MovementRecord]
+    #: full Prometheus text exposition captured at run end
+    prometheus: str
+    #: per-metric snapshot dict captured at run end
+    metrics: dict
+    #: bus events as dicts, in publish order
+    events: list[dict] = field(default_factory=list)
+    #: finished span count (0 when tracing was off)
+    spans_recorded: int = 0
+    #: files the exports landed in (absent keys were not requested)
+    artifacts: dict[str, str] = field(default_factory=dict)
+    profile: ProfileReport | None = None
+    attribution: SpanAttribution | None = None
+
+    def movement_fingerprint(self) -> tuple:
+        """Hashable history for bit-for-bit determinism comparisons."""
+        return tuple(
+            (m.timestamp, m.fid, m.src_device, m.dst_device, m.succeeded)
+            for m in self.movements
+        )
+
+    def to_text(self, profile_top: int = 15) -> str:
+        rows = [
+            ("runs completed", self.runs_completed),
+            ("accesses measured", self.accesses),
+            ("mean GB/s", f"{self.mean_gbps:.3f}"),
+            ("files moved",
+             sum(1 for m in self.movements if m.succeeded)),
+            ("spans recorded", self.spans_recorded),
+            ("bus events", len(self.events)),
+            ("metrics registered",
+             sum(len(group) for group in self.metrics.values())),
+        ]
+        table = ascii_table(
+            ["metric", "value"], rows,
+            title=f"Instrumented run (seed {self.seed}, "
+                  f"{self.scale_name} scale)",
+        )
+        for kind, path in sorted(self.artifacts.items()):
+            table += f"\n{kind}: {path}"
+        if self.attribution is not None:
+            table += "\n\n" + self.attribution.to_text()
+        if self.profile is not None:
+            table += "\n" + self.profile.top_table(profile_top)
+        return table
+
+
+def run_instrumented(
+    *,
+    scale: ExperimentScale = TEST_SCALE,
+    seed: int = 0,
+    obs: Observability | None = None,
+    metrics_path: str | os.PathLike | None = None,
+    metrics_snapshot_path: str | os.PathLike | None = None,
+    snapshot_every: int = 1,
+    trace_path: str | os.PathLike | None = None,
+    profile: bool = False,
+    schedule_specs: tuple[str, ...] = (),
+    migration_failure_rate: float = 0.0,
+    **config_overrides,
+) -> InstrumentedRunResult:
+    """One warm-up + measured loop under full observability.
+
+    ``obs`` defaults to a fully enabled instance built from the run's
+    config knobs; pass ``Observability(enabled=False)`` to measure the
+    disabled baseline through the *identical* code path (the overhead
+    benchmark does exactly that).  ``metrics_path`` receives the final
+    Prometheus dump, ``metrics_snapshot_path`` a JSONL snapshot every
+    ``snapshot_every`` measured runs, ``trace_path`` the Chrome-trace
+    JSON.  ``profile=True`` additionally wraps the measured phase in
+    cProfile.
+    """
+    if snapshot_every < 1:
+        raise ExperimentError(
+            f"snapshot_every must be >= 1, got {snapshot_every}"
+        )
+    specs = tuple(schedule_specs)
+    if specs and FaultSchedule.from_specs(specs).has_fractional_times:
+        raise ExperimentError(
+            "the instrumented harness needs absolute fault times "
+            "(fractional '@N%' times depend on a baseline twin run)"
+        )
+    config = make_experiment_config(
+        scale,
+        seed=seed,
+        observability_enabled=True,
+        fault_schedule=specs,
+        **config_overrides,
+    )
+    if obs is None:
+        obs = Observability.from_config(config)
+    with use(obs):
+        return _drive(
+            config=config,
+            scale=scale,
+            seed=seed,
+            obs=obs,
+            metrics_path=metrics_path,
+            metrics_snapshot_path=metrics_snapshot_path,
+            snapshot_every=snapshot_every,
+            trace_path=trace_path,
+            profile=profile,
+            specs=specs,
+            migration_failure_rate=migration_failure_rate,
+        )
+
+
+def _drive(
+    *,
+    config: GeomancyConfig,
+    scale: ExperimentScale,
+    seed: int,
+    obs: Observability,
+    metrics_path,
+    metrics_snapshot_path,
+    snapshot_every: int,
+    trace_path,
+    profile: bool,
+    specs: tuple[str, ...],
+    migration_failure_rate: float,
+) -> InstrumentedRunResult:
+    # Components cache their handles at construction, so the system is
+    # built *after* the instance is installed (run_instrumented's `use`).
+    cluster = make_bluesky_cluster(seed=seed)
+    files = belle2_file_population(seed=seed)
+    geo = Geomancy(cluster, files, config, obs=obs)
+    geo.place_initial()
+    runner = WorkloadRunner(
+        cluster,
+        Belle2Workload(files, seed=WORKLOAD_SEED),
+        ReplayDB(),
+        tolerate_offline=True,
+    )
+    # Warm-up: telemetry lands through the agents but is not traced per
+    # tick (ticks number the *measured* runs, matching the other
+    # harnesses' run indices).
+    while geo.db.access_count() < scale.warmup_accesses:
+        geo.observe_run(list(runner.run_stream()))
+
+    injector = None
+    if specs or migration_failure_rate:
+        # Fault times in the specs are relative to the start of the
+        # measured phase.
+        phase_start = runner.clock.now
+        schedule = FaultSchedule(
+            replace(event, at=event.at + phase_start)
+            for event in FaultSchedule.from_specs(specs)
+        )
+        injector = FaultInjector(
+            cluster,
+            schedule,
+            migration_failure_rate=migration_failure_rate,
+            seed=seed,
+        ).install()
+
+    throughput: list[float] = []
+
+    def measured_phase() -> None:
+        for run_number in range(1, scale.runs + 1):
+            with obs.tick(run_number):
+                with obs.span("simulator_advance"):
+                    records = []
+                    for record in runner.run_stream():
+                        if injector is not None:
+                            injector.advance(runner.clock.now)
+                        records.append(record)
+                    if injector is not None:
+                        injector.advance(runner.clock.now)
+                with obs.span("telemetry_collect", records=len(records)):
+                    for record in records:
+                        throughput.append(float(record.throughput_gbps))
+                        geo.observe(record)
+                with obs.span("telemetry_flush"):
+                    geo.flush_telemetry(at=runner.clock.now)
+                geo.after_run(run_number, runner.clock.now)
+            if (
+                metrics_snapshot_path is not None
+                and run_number % snapshot_every == 0
+            ):
+                obs.metrics.write_snapshot(
+                    metrics_snapshot_path, run=run_number, seed=seed
+                )
+
+    report: ProfileReport | None = None
+    if profile:
+        report = profile_call(measured_phase)
+    else:
+        measured_phase()
+    if injector is not None:
+        injector.uninstall()
+
+    artifacts: dict[str, str] = {}
+    prometheus = obs.metrics.render_prometheus()
+    if metrics_path is not None:
+        path = Path(metrics_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(prometheus)
+        artifacts["metrics"] = str(path)
+    if metrics_snapshot_path is not None:
+        artifacts["metrics_snapshots"] = str(Path(metrics_snapshot_path))
+    if trace_path is not None:
+        path = Path(trace_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        obs.tracer.export_chrome(path)
+        artifacts["trace"] = str(path)
+
+    layout = cluster.layout()
+    return InstrumentedRunResult(
+        seed=seed,
+        scale_name=scale.name,
+        runs_completed=scale.runs,
+        accesses=len(throughput),
+        mean_gbps=float(np.mean(throughput)) if throughput else 0.0,
+        final_layout={spec.fid: layout[spec.fid] for spec in geo.files},
+        movements=geo.db.movements(),
+        prometheus=prometheus,
+        metrics=obs.metrics.snapshot(),
+        events=[event.to_dict() for event in obs.bus],
+        spans_recorded=len(obs.tracer.spans),
+        artifacts=artifacts,
+        profile=report,
+        attribution=(
+            span_attribution(obs.tracer) if obs.tracer.spans else None
+        ),
+    )

@@ -13,6 +13,7 @@ re-opens it immediately.
 from __future__ import annotations
 
 from repro.errors import ConfigurationError
+from repro.observability import get_observability
 
 
 class HealthTracker:
@@ -40,12 +41,20 @@ class HealthTracker:
         self.successes = 0
         self.failures = 0
         self.quarantines_opened = 0
+        self.obs = get_observability()
+        self._m_quarantines = self.obs.metrics.counter(
+            "repro_faults_quarantines_opened_total",
+            "circuit-breaker quarantines opened against devices",
+        )
 
-    def record_success(self, device: str) -> None:
+    def record_success(self, device: str, t: float = 0.0) -> None:
         """A move toward ``device`` completed; close its circuit."""
         self.successes += 1
+        was_open = device in self._quarantined_until
         self._consecutive[device] = 0
         self._quarantined_until.pop(device, None)
+        if was_open and self.obs.enabled:
+            self.obs.emit("circuit-closed", t=t, step=0, device=device)
 
     def record_failure(self, device: str, t: float) -> None:
         """A move toward ``device`` failed at time ``t``."""
@@ -55,6 +64,15 @@ class HealthTracker:
         if count >= self.quarantine_threshold:
             if device not in self._quarantined_until:
                 self.quarantines_opened += 1
+                self._m_quarantines.inc()
+                if self.obs.enabled:
+                    self.obs.emit(
+                        "circuit-open",
+                        t=t,
+                        step=0,
+                        device=device,
+                        consecutive_failures=count,
+                    )
             self._quarantined_until[device] = t + self.quarantine_duration_s
 
     def is_quarantined(self, device: str, t: float) -> bool:
@@ -71,6 +89,8 @@ class HealthTracker:
         if t >= until:
             del self._quarantined_until[device]
             self._consecutive[device] = self.quarantine_threshold - 1
+            if self.obs.enabled:
+                self.obs.emit("circuit-half-open", t=t, step=0, device=device)
             return False
         return True
 

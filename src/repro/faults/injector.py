@@ -21,7 +21,16 @@ from repro.faults.schedule import (
     RESTORE,
     FaultSchedule,
 )
+from repro.observability import get_observability
 from repro.simulation.cluster import StorageCluster
+
+#: bus event kind per scheduled fault primitive
+_EVENT_KINDS = {
+    OFFLINE: "fault-outage",
+    ONLINE: "fault-online",
+    DEGRADE: "fault-degrade",
+    RESTORE: "fault-restore",
+}
 
 
 class FaultInjector:
@@ -60,6 +69,15 @@ class FaultInjector:
         self.migration_faults_injected = 0
         #: (time, device) for every offline action, for recovery reporting
         self.outage_log: list[tuple[float, str]] = []
+        self.obs = get_observability()
+        metrics = self.obs.metrics
+        self._m_faults = metrics.counter(
+            "repro_faults_injected_total", "scheduled fault actions applied"
+        )
+        self._m_migration_faults = metrics.counter(
+            "repro_faults_migration_aborts_total",
+            "migration failures injected mid-transfer",
+        )
 
     # -- wiring ----------------------------------------------------------
     def install(self) -> "FaultInjector":
@@ -104,6 +122,15 @@ class FaultInjector:
             elif action == RESTORE:
                 self.cluster.device(device).degradation = 1.0
                 self.recoveries_applied += 1
+            self._m_faults.inc()
+            if self.obs.enabled:
+                self.obs.emit(
+                    _EVENT_KINDS[action],
+                    t=at,
+                    step=self._cursor - 1,
+                    device=device,
+                    factor=factor,
+                )
         return applied
 
     # -- persistence -----------------------------------------------------
@@ -157,6 +184,7 @@ class FaultInjector:
         roll = self._rng.random()
         if self.migration_failure_rate and roll < self.migration_failure_rate:
             self.migration_faults_injected += 1
+            self._m_migration_faults.inc()
             # Fail somewhere in the middle of the transfer: the wasted
             # traffic is real, but the file never reaches the target.
             return float(0.05 + 0.90 * self._rng.random())

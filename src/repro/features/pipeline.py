@@ -28,6 +28,7 @@ import numpy as np
 from repro.errors import FeatureError
 from repro.features.normalize import MinMaxNormalizer
 from repro.features.smoothing import moving_average
+from repro.observability import get_observability
 
 if TYPE_CHECKING:  # records imports this package; avoid the import cycle
     from repro.replaydb.records import AccessRecord
@@ -154,6 +155,15 @@ class FeaturePipeline:
         # plus one full pass over the records per column dominated it.
         self._accessors = tuple(resolve_accessor(name) for name in features)
         self._fitted_features: tuple[str, ...] | None = None
+        metrics = get_observability().metrics
+        self._m_rows = metrics.counter(
+            "repro_features_rows_transformed_total",
+            "telemetry rows turned into feature vectors",
+        )
+        self._m_probe_rows = metrics.counter(
+            "repro_features_probe_rows_total",
+            "per-location probe rows built for prediction",
+        )
 
     @property
     def z(self) -> int:
@@ -266,6 +276,7 @@ class FeaturePipeline:
 
     def transform_features(self, records: "Sequence[AccessRecord]") -> np.ndarray:
         self._require_fitted()
+        self._m_rows.inc(len(records))
         return self._x_norm.transform(self.feature_matrix(records))
 
     def transform_target(self, records: "Sequence[AccessRecord]") -> np.ndarray:
@@ -351,6 +362,7 @@ class FeaturePipeline:
         probe[:, fsid_col] = np.tile(
             np.asarray(fsids, dtype=np.float64), len(raw)
         )
+        self._m_probe_rows.inc(len(probe))
         return self._x_norm.transform(probe)
 
     def _require_fitted(self) -> None:

@@ -20,6 +20,7 @@ from repro.nn.layers import Layer
 from repro.nn.losses import Loss, get_loss
 from repro.nn.metrics import is_diverged
 from repro.nn.optimizers import Optimizer, get_optimizer
+from repro.observability import get_observability
 
 
 @dataclass
@@ -82,6 +83,14 @@ class Sequential:
         self._rng = np.random.default_rng(seed)
         self.built = False
         self.input_dim: int | None = None
+        metrics = get_observability().metrics
+        self._m_epochs = metrics.counter(
+            "repro_nn_epochs_total", "training epochs completed"
+        )
+        self._m_forward = metrics.counter(
+            "repro_nn_forward_rows_total",
+            "rows pushed through inference forward passes",
+        )
 
     # -- construction ------------------------------------------------------
     def build(self, input_dim: int) -> None:
@@ -133,6 +142,7 @@ class Sequential:
         x = self._adapt_input(x)
         if not self.built:
             self.build(x.shape[-1])
+        self._m_forward.inc(len(x))
         if batch_size is None or batch_size >= len(x):
             return self._forward(x, training=False)
         chunks = [
@@ -241,6 +251,7 @@ class Sequential:
                     stale_epochs += 1
                     if stale_epochs >= patience:
                         break
+        self._m_epochs.inc(history.epochs_run)
         return history
 
     def _apply_gradients(self, optimizer: Optimizer) -> None:

@@ -1,58 +1,37 @@
-"""Structured recovery telemetry.
+"""Structured recovery telemetry -- now a view over the event bus.
 
-Every recovery-relevant occurrence -- a checkpoint written, a torn
-generation skipped, a journal rollback, a guardrail trip, a stranded-file
-rescue -- is recorded as a :class:`RecoveryEvent` so experiments and
-operators can audit exactly what the durability layer did and when.
+Historically this module owned its own event type and append-only log.
+Both survive as a compatibility shim over the unified observability
+layer: :class:`RecoveryEvent` *is*
+:class:`repro.observability.events.Event`, and :class:`EventLog` is a
+recording facade over an :class:`~repro.observability.events.EventBus`
+-- every ``emit`` publishes a typed bus event (guardrail trips,
+checkpoint commits, journal rollbacks, stranded-file rescues), so bus
+subscribers see recovery traffic alongside fault and movement events,
+while existing callers keep the familiar log API (``events``,
+``of_kind``, ``state_dict``/``load_state_dict``).
 
-This module is intentionally dependency-free (stdlib only) so that
-:mod:`repro.core.geomancy` can import it without creating a cycle with
-the rest of the recovery package.
+By default an ``EventLog`` bridges to the *installed* observability
+bus (see :func:`repro.observability.get_observability`), which is a
+no-op collector unless a run enabled observability; pass ``bus=`` to
+wire it to a specific one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.observability import get_observability
+from repro.observability.events import Event, EventBus
 
-
-@dataclass(frozen=True)
-class RecoveryEvent:
-    """One recovery-relevant occurrence.
-
-    ``kind`` is a stable machine-readable tag (e.g. ``checkpoint-saved``,
-    ``checkpoint-corrupt``, ``journal-rollback``, ``guardrail-trip``,
-    ``stranded-file-rescued``); ``detail`` carries kind-specific,
-    JSON-serializable context.
-    """
-
-    kind: str
-    t: float
-    step: int
-    detail: dict = field(default_factory=dict)
-
-    def to_dict(self) -> dict:
-        return {
-            "kind": self.kind,
-            "t": self.t,
-            "step": self.step,
-            "detail": dict(self.detail),
-        }
-
-    @classmethod
-    def from_dict(cls, raw: dict) -> "RecoveryEvent":
-        return cls(
-            kind=str(raw["kind"]),
-            t=float(raw["t"]),
-            step=int(raw["step"]),
-            detail=dict(raw.get("detail", {})),
-        )
+#: compatibility alias -- recovery events are plain bus events
+RecoveryEvent = Event
 
 
 class EventLog:
-    """Append-only in-memory log of :class:`RecoveryEvent` records."""
+    """Append-only log of recovery events, mirrored onto an event bus."""
 
-    def __init__(self) -> None:
-        self._events: list[RecoveryEvent] = []
+    def __init__(self, bus: EventBus | None = None) -> None:
+        self._events: list[Event] = []
+        self.bus = bus if bus is not None else get_observability().bus
 
     def __len__(self) -> int:
         return len(self._events)
@@ -61,20 +40,27 @@ class EventLog:
         return iter(self._events)
 
     @property
-    def events(self) -> tuple[RecoveryEvent, ...]:
+    def events(self) -> tuple[Event, ...]:
         return tuple(self._events)
 
-    def emit(self, kind: str, *, t: float, step: int, **detail) -> RecoveryEvent:
-        """Record and return a new event."""
-        event = RecoveryEvent(kind=kind, t=float(t), step=int(step), detail=detail)
+    def emit(self, kind: str, *, t: float, step: int, **detail) -> Event:
+        """Record a new event and publish it on the attached bus."""
+        event = Event(kind=kind, t=float(t), step=int(step), detail=detail)
         self._events.append(event)
+        self.bus.publish(event)
         return event
 
-    def of_kind(self, kind: str) -> tuple[RecoveryEvent, ...]:
+    def of_kind(self, kind: str) -> tuple[Event, ...]:
         return tuple(e for e in self._events if e.kind == kind)
 
     def state_dict(self) -> dict:
         return {"events": [e.to_dict() for e in self._events]}
 
     def load_state_dict(self, state: dict) -> None:
-        self._events = [RecoveryEvent.from_dict(raw) for raw in state["events"]]
+        """Restore the log's contents.
+
+        Restored events are *not* re-published: subscribers already saw
+        them when they first happened (or were never around to), and a
+        resume must not double-count trips or checkpoints.
+        """
+        self._events = [Event.from_dict(raw) for raw in state["events"]]

@@ -17,6 +17,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import ReplayDBError
+from repro.observability import get_observability
 from repro.replaydb.records import AccessRecord, MovementRecord
 
 #: the documented default: a private in-memory database (fast, unshared,
@@ -94,6 +95,14 @@ class ReplayDB:
             self._raw_conn.execute("PRAGMA synchronous=NORMAL")
         self._raw_conn.executescript(_SCHEMA)
         self._raw_conn.commit()
+        metrics = get_observability().metrics
+        self._m_rows_written = metrics.counter(
+            "repro_replaydb_rows_written_total",
+            "access and movement rows inserted",
+        )
+        self._m_queries = metrics.counter(
+            "repro_replaydb_queries_total", "read queries served"
+        )
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -188,6 +197,7 @@ class ReplayDB:
             ),
         )
         self._conn.commit()
+        self._m_rows_written.inc()
         return int(cur.lastrowid)
 
     def insert_accesses(self, records: Iterable[AccessRecord]) -> int:
@@ -206,6 +216,7 @@ class ReplayDB:
             rows,
         )
         self._conn.commit()
+        self._m_rows_written.inc(len(rows))
         return len(rows)
 
     def insert_movement(self, record: MovementRecord) -> int:
@@ -219,6 +230,7 @@ class ReplayDB:
             ),
         )
         self._conn.commit()
+        self._m_rows_written.inc()
         return int(cur.lastrowid)
 
     # -- reads -----------------------------------------------------------
@@ -243,6 +255,7 @@ class ReplayDB:
         """
         if limit <= 0:
             raise ReplayDBError(f"limit must be positive, got {limit}")
+        self._m_queries.inc()
         clauses, params = [], []
         if device is not None:
             clauses.append("device = ?")
@@ -269,6 +282,7 @@ class ReplayDB:
         """
         if limit <= 0:
             raise ReplayDBError(f"limit must be positive, got {limit}")
+        self._m_queries.inc()
         rows = self._conn.execute(
             "SELECT * FROM ("
             "  SELECT a.*, ROW_NUMBER() OVER "
@@ -297,6 +311,7 @@ class ReplayDB:
         """
         if limit <= 0:
             raise ReplayDBError(f"limit must be positive, got {limit}")
+        self._m_queries.inc()
         where, params = "", []
         if fids is not None:
             wanted = sorted(set(fids))
@@ -333,6 +348,7 @@ class ReplayDB:
         """
         if limit <= 0:
             raise ReplayDBError(f"limit must be positive, got {limit}")
+        self._m_queries.inc()
         where, params = "", []
         if fids is not None:
             wanted = sorted(set(fids))
@@ -382,6 +398,7 @@ class ReplayDB:
         return [row[0] for row in rows]
 
     def access_count(self, *, device: str | None = None) -> int:
+        self._m_queries.inc()
         if device is None:
             row = self._conn.execute("SELECT COUNT(*) FROM accesses").fetchone()
         else:
@@ -406,6 +423,7 @@ class ReplayDB:
 
     def average_throughput(self, *, device: str | None = None) -> float:
         """Mean per-access throughput (bytes/s), optionally for one device."""
+        self._m_queries.inc()
         if device is None:
             row = self._conn.execute(
                 "SELECT AVG(throughput) FROM accesses"

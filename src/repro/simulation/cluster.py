@@ -14,6 +14,7 @@ from repro.errors import (
     UnknownDeviceError,
     UnknownFileError,
 )
+from repro.observability import get_observability
 from repro.replaydb.records import AccessRecord, MovementRecord
 from repro.simulation.clock import timestamp_parts
 from repro.simulation.device import StorageDevice
@@ -70,6 +71,21 @@ class StorageCluster:
         self.migration_interceptor: (
             Callable[[int, str, str, float, int], float | None] | None
         ) = None
+        metrics = get_observability().metrics
+        self._m_accesses = metrics.counter(
+            "repro_simulation_accesses_total", "file accesses served"
+        )
+        self._m_migrations = metrics.counter(
+            "repro_simulation_migrations_total", "file migrations completed"
+        )
+        self._m_migrations_aborted = metrics.counter(
+            "repro_simulation_migrations_aborted_total",
+            "file migrations aborted mid-transfer",
+        )
+        self._m_migrated_bytes = metrics.counter(
+            "repro_simulation_migrated_bytes_total",
+            "bytes moved by completed migrations",
+        )
 
     # -- device access -----------------------------------------------------
     @property
@@ -235,6 +251,7 @@ class StorageCluster:
                 f"file {fid} is stranded on offline device {info.device!r}"
             )
         duration = device.perform_access(t, rb, wb)
+        self._m_accesses.inc()
         ots, otms = timestamp_parts(t)
         cts, ctms = timestamp_parts(t + duration)
         return AccessRecord(
@@ -293,6 +310,7 @@ class StorageCluster:
                 if src_device.online:
                     src_device.absorb_transfer(t, partial, duration)
                 dst_device.absorb_transfer(t, partial, duration)
+                self._m_migrations_aborted.inc()
                 raise MigrationError(
                     f"migration of file {fid} to {dst!r} aborted after "
                     f"{partial} of {info.size_bytes} bytes",
@@ -307,6 +325,8 @@ class StorageCluster:
         if src_device.online:
             src_device.absorb_transfer(t, info.size_bytes, duration)
         dst_device.absorb_transfer(t, info.size_bytes, duration)
+        self._m_migrations.inc()
+        self._m_migrated_bytes.inc(info.size_bytes)
         move = MovementRecord(
             timestamp=t,
             fid=fid,
@@ -373,6 +393,7 @@ class StorageCluster:
             remaining -= chunk
             moved = info.size_bytes - remaining
             if abort_after is not None and moved >= abort_after:
+                self._m_migrations_aborted.inc()
                 raise MigrationError(
                     f"migration of file {fid} to {dst!r} aborted after "
                     f"{moved} of {info.size_bytes} bytes",
@@ -383,6 +404,8 @@ class StorageCluster:
                     bytes_transferred=moved,
                     duration=now - t,
                 )
+        self._m_migrations.inc()
+        self._m_migrated_bytes.inc(info.size_bytes)
         move = MovementRecord(
             timestamp=t,
             fid=fid,

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, DeviceOfflineError
+from repro.observability import get_observability
 from repro.replaydb.db import ReplayDB
 from repro.replaydb.records import AccessRecord
 from repro.simulation.clock import SimulationClock
@@ -75,6 +76,17 @@ class WorkloadRunner:
         self.next_run_index = 0
         self.total_accesses = 0
         self.failed_accesses = 0
+        metrics = get_observability().metrics
+        self._m_runs = metrics.counter(
+            "repro_workloads_runs_total", "workload runs started"
+        )
+        self._m_accesses = metrics.counter(
+            "repro_workloads_accesses_total", "workload accesses completed"
+        )
+        self._m_failed = metrics.counter(
+            "repro_workloads_failed_accesses_total",
+            "accesses that timed out against offline devices",
+        )
 
     def ensure_files_placed(self, layout: dict[int, str]) -> None:
         """Register workload files that are not yet in the cluster.
@@ -102,6 +114,7 @@ class WorkloadRunner:
         """
         index = self.next_run_index
         self.next_run_index += 1
+        self._m_runs.inc()
         for op in self.workload.run(index):
             try:
                 record = self.cluster.access(
@@ -113,11 +126,13 @@ class WorkloadRunner:
                 # The device timed out under us; charge the wait and
                 # carry on with the rest of the run.
                 self.failed_accesses += 1
+                self._m_failed.inc()
                 self.clock.advance(self.offline_penalty_s + self.think_time_s)
                 continue
             self.clock.advance(record.duration + self.think_time_s)
             self.db.insert_access(record)
             self.total_accesses += 1
+            self._m_accesses.inc()
             yield record
 
     def run_once(self) -> RunResult:

@@ -1,0 +1,110 @@
+"""End-to-end: one instrumented control loop, checked against the paper
+PR's acceptance bar -- subsystem coverage, span nesting, determinism."""
+
+import json
+
+import pytest
+
+from repro.experiments.instrumented import run_instrumented
+from repro.observability import Observability, get_observability
+
+REQUIRED_SUBSYSTEMS = {
+    "engine", "replaydb", "features", "nn", "simulation", "faults",
+}
+
+
+@pytest.fixture(scope="module")
+def result(tmp_path_factory):
+    out = tmp_path_factory.mktemp("instrumented")
+    return run_instrumented(
+        seed=0,
+        metrics_path=out / "metrics.prom",
+        metrics_snapshot_path=out / "metrics.jsonl",
+        trace_path=out / "trace.json",
+    )
+
+
+class TestMetricsCoverage:
+    def test_covers_required_subsystems(self, result):
+        subsystems = {
+            name.split("_")[1]
+            for group in result.metrics.values()
+            for name in group
+        }
+        assert REQUIRED_SUBSYSTEMS <= subsystems
+
+    def test_prometheus_dump_written_and_parseable(self, result):
+        text = open(result.artifacts["metrics"]).read()
+        assert text == result.prometheus
+        assert "# TYPE repro_engine_ticks_total counter" in text
+        assert "# TYPE repro_nn_train_seconds histogram" in text
+        # every sample line is "name[{labels}] value"
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            float(value)
+
+    def test_snapshots_track_the_run(self, result):
+        lines = [
+            json.loads(line)
+            for line in open(result.artifacts["metrics_snapshots"])
+        ]
+        assert [line["run"] for line in lines] == list(
+            range(1, result.runs_completed + 1)
+        )
+        ticks = [
+            line["metrics"]["counters"]["repro_engine_ticks_total"]
+            for line in lines
+        ]
+        assert ticks == sorted(ticks)  # counters are monotone
+        assert ticks[-1] == result.runs_completed
+
+
+class TestTraceNesting:
+    def test_spans_nest_under_per_tick_roots(self, result):
+        trace = json.load(open(result.artifacts["trace"]))
+        events = trace["traceEvents"]
+        assert len(events) == result.spans_recorded > 0
+        parent_of = {
+            e["name"]: e["args"].get("parent") for e in events
+        }
+        assert parent_of["tick"] is None
+        # telemetry -> train -> predict -> move, all under the tick root
+        assert parent_of["telemetry_collect"] == "tick"
+        assert parent_of["telemetry_flush"] == "tick"
+        assert parent_of["replaydb_write"] == "telemetry_flush"
+        assert parent_of["train_step"] == "tick"
+        assert parent_of["feature_pipeline"] == "train_step"
+        assert parent_of["model_fit"] == "train_step"
+        assert parent_of["propose_layout"] == "tick"
+        assert parent_of["model_predict"] == "propose_layout"
+        assert parent_of["action_check"] == "tick"
+        assert parent_of["movement_dispatch"] == "tick"
+        assert parent_of["simulator_advance"] == "tick"
+
+    def test_every_tick_has_a_root(self, result):
+        trace = json.load(open(result.artifacts["trace"]))
+        roots = [
+            e["args"]["tick"]
+            for e in trace["traceEvents"]
+            if e["name"] == "tick"
+        ]
+        assert roots == list(range(1, result.runs_completed + 1))
+
+
+class TestDeterminism:
+    def test_disabled_run_is_bit_for_bit_identical(self, result):
+        disabled = run_instrumented(
+            seed=0, obs=Observability(enabled=False)
+        )
+        assert disabled.movement_fingerprint() == result.movement_fingerprint()
+        assert disabled.final_layout == result.final_layout
+        assert disabled.mean_gbps == result.mean_gbps
+        assert disabled.accesses == result.accesses
+        assert disabled.spans_recorded == 0
+        assert disabled.events == []
+        assert disabled.prometheus == ""
+
+    def test_run_restores_the_process_default(self, result):
+        assert get_observability().enabled is False

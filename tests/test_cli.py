@@ -17,7 +17,7 @@ class TestParser:
             "fig4", "table1", "table2", "table3",
             "fig5a", "fig5b", "table4", "fig6", "synth-trace", "testbed",
             "robustness", "chaos", "overhead", "model-selection", "bench",
-            "recover", "resume",
+            "recover", "resume", "run", "metrics", "trace",
         }
 
     def test_chaos_arguments_parse(self):
