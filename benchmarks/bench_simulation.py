@@ -1,0 +1,27 @@
+"""Simulation fast-path latency: batched access pipeline vs. scalar oracle.
+
+Bigger sibling of ``tests/perf/test_simulation_perf.py``: a longer
+workload-runner span and more repeats, run under pytest-benchmark like
+the rest of the harness.  Writes both the rendered table and
+``BENCH_simulation.json`` to ``benchmarks/out/`` so the simulation perf
+trajectory is inspectable per PR.
+"""
+
+import pathlib
+
+from repro.experiments.simulation_bench import run_simulation_benchmark
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def test_simulation_pipeline(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_simulation_benchmark,
+        kwargs={"runner_runs": 200, "repeats": 5},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("simulation", result.to_text())
+    result.write_json(OUT_DIR / "BENCH_simulation.json")
+    assert result.all_identical
+    assert result.overall_speedup >= 5.0

@@ -103,8 +103,8 @@ class InterfaceDaemon:
 
     def record_movements(self, moves: list[MovementRecord]) -> None:
         """Log executed movements so the layout evolution is queryable."""
-        for move in moves:
-            self.db.insert_movement(move)
+        if moves:
+            self.db.insert_movements(moves)
 
     @property
     def transfer_overhead_s(self) -> float:

@@ -60,6 +60,34 @@ class MonitoringAgent:
         if len(self._buffer) >= self.batch_size:
             self.flush(at=record.close_time)
 
+    def observe_many(self, records: list[AccessRecord]) -> None:
+        """Record a chunk of accesses on this agent's device.
+
+        Equivalent to calling :meth:`observe` once per record -- the same
+        batch boundaries fire at the same records with the same ``at``
+        timestamps -- but appends chunk-wise instead of paying the
+        per-record call overhead.
+        """
+        n = len(records)
+        i = 0
+        buffer = self._buffer
+        batch_size = self.batch_size
+        while i < n:
+            take = min(batch_size - len(buffer), n - i)
+            chunk = records[i : i + take]
+            for record in chunk:
+                if record.device != self.device:
+                    raise AgentError(
+                        f"agent for {self.device!r} observed access on "
+                        f"{record.device!r}"
+                    )
+            buffer.extend(chunk)
+            i += take
+            if len(buffer) >= batch_size:
+                self.flush(at=buffer[-1].close_time)
+        self.observed += n
+        self._m_observed.inc(n)
+
     def flush(self, at: float) -> bool:
         """Send any buffered records; returns whether a batch was sent."""
         if not self._buffer:

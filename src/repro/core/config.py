@@ -79,6 +79,12 @@ class GeomancyConfig:
     #: modeling target: "throughput" (the paper's live system) or
     #: "latency" (the sensitivity the paper defers to future work)
     target: str = "throughput"
+    #: drive workload runs through the vectorized access pipeline
+    #: (Cluster.access_batch / StorageDevice.serve_batch).  Bit-for-bit
+    #: identical to the scalar reference loop -- same RNG draw order per
+    #: device -- so this only trades per-access Python overhead for
+    #: batched numpy kernels; disable to run the scalar oracle instead
+    batched_simulation: bool = True
     #: -- durability & safe mode (repro.recovery) -------------------------
     #: checkpoint the full system state every N measured runs (0 disables;
     #: consumed by the recoverable harness, ignored by ordinary runs)

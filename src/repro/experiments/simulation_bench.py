@@ -1,0 +1,263 @@
+"""Simulation fast-path benchmark: batched access pipeline vs. its oracle.
+
+The batched pipeline (``Belle2Workload.run_arrays`` ->
+``StorageCluster.access_batch`` -> ``StorageDevice.serve_batch`` -> one
+``ReplayDB.insert_accesses`` per run) promises bit-for-bit the results of
+the scalar reference loop, only faster.  This module measures both claims
+on the drivers that matter -- a raw workload-runner loop and the Fig. 5a /
+Fig. 5b policy-experiment loops -- by running scalar and batched twins of
+each driver from identical seeds, asserting their outputs are *exactly*
+equal (records, layouts, movements, device statistics, clock), and timing
+each path end to end.  The result serializes to ``BENCH_simulation.json``
+so successive PRs accumulate a perf trajectory next to the decision-epoch
+benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, astuple, dataclass, field
+from pathlib import Path
+
+from repro.errors import ExperimentError
+from repro.experiments.harness import PolicyRunResult, run_policy_experiment
+from repro.experiments.reporting import ascii_table
+from repro.experiments.spec import ExperimentScale, TEST_SCALE
+from repro.policies.lru import LRUPolicy
+from repro.policies.static import EvenSpreadPolicy
+from repro.replaydb.db import ReplayDB
+from repro.simulation.bluesky import make_bluesky_cluster
+from repro.workloads.belle2 import Belle2Workload
+from repro.workloads.files import belle2_file_population
+from repro.workloads.runner import WorkloadRunner
+
+
+@dataclass
+class SimulationCell:
+    """Batched-vs-reference measurement for one driver loop."""
+
+    name: str
+    #: accesses the driver serves per invocation
+    accesses: int
+    batched_ms: float
+    reference_ms: float
+    #: outputs bit-for-bit equal between the two paths
+    identical: bool
+    #: raw wall-clock samples (seconds) behind the best-of numbers
+    batched_samples_s: list[float] = field(default_factory=list)
+    reference_samples_s: list[float] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        if self.batched_ms <= 0:
+            raise ExperimentError("batched path measured non-positive time")
+        return self.reference_ms / self.batched_ms
+
+
+@dataclass
+class SimulationBenchResult:
+    """Everything the simulation benchmark measures."""
+
+    cells: list[SimulationCell]
+
+    @property
+    def overall_speedup(self) -> float:
+        """Aggregate speedup: total reference time / total batched time.
+
+        The headline number -- what one sweep across every benchmarked
+        driver loop costs on each path.
+        """
+        if not self.cells:
+            raise ExperimentError("no simulation cells were measured")
+        batched = sum(cell.batched_ms for cell in self.cells)
+        if batched <= 0:
+            raise ExperimentError("batched path measured non-positive time")
+        return sum(cell.reference_ms for cell in self.cells) / batched
+
+    @property
+    def min_speedup(self) -> float:
+        if not self.cells:
+            raise ExperimentError("no simulation cells were measured")
+        return min(cell.speedup for cell in self.cells)
+
+    @property
+    def all_identical(self) -> bool:
+        return all(cell.identical for cell in self.cells)
+
+    def to_json(self) -> dict:
+        return {
+            "benchmark": "simulation-pipeline",
+            "overall_speedup": self.overall_speedup,
+            "all_identical": self.all_identical,
+            "cells": [
+                {**asdict(cell), "speedup": cell.speedup}
+                for cell in self.cells
+            ],
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json(), indent=2) + "\n")
+        return path
+
+    def to_text(self) -> str:
+        rows = [
+            (
+                cell.name,
+                cell.accesses,
+                f"{cell.batched_ms:.1f}",
+                f"{cell.reference_ms:.1f}",
+                f"{cell.speedup:.1f}x",
+                "yes" if cell.identical else "NO",
+            )
+            for cell in self.cells
+        ]
+        table = ascii_table(
+            ["driver", "accesses", "batched ms", "scalar ms", "speedup",
+             "bit-identical"],
+            rows,
+            title="Simulation fast-path benchmark (batched vs. scalar)",
+        )
+        table += f"\noverall speedup: {self.overall_speedup:.1f}x"
+        return table
+
+
+def _policy_fingerprint(result: PolicyRunResult) -> tuple:
+    """Everything a Fig. 5 cell reports, hashable and exactly comparable."""
+    return (
+        tuple(result.throughput_gbps),
+        tuple(result.movements),
+        tuple(sorted(result.usage_percent.items())),
+        tuple(sorted(result.device_throughput.items())),
+    )
+
+
+def _runner_trial(*, runs: int, seed: int, batched: bool) -> tuple:
+    """Drive a bare workload runner; returns (runner, cluster, results)."""
+    cluster = make_bluesky_cluster(seed=seed)
+    files = belle2_file_population(seed=seed)
+    runner = WorkloadRunner(
+        cluster, Belle2Workload(files, seed=seed + 1), ReplayDB(),
+        batched=batched,
+    )
+    devices = cluster.device_names
+    runner.ensure_files_placed(
+        {spec.fid: devices[i % len(devices)] for i, spec in enumerate(files)}
+    )
+    results = runner.run_many(runs)
+    return runner, cluster, results
+
+
+def _runner_fingerprint(trial_out: tuple) -> tuple:
+    """Reduce a runner trial to an exactly-comparable state fingerprint."""
+    runner, cluster, results = trial_out
+    records = tuple(
+        astuple(record) for result in results for record in result.records
+    )
+    stats = tuple(
+        (
+            name,
+            cluster.device(name).stats.accesses,
+            cluster.device(name).stats.bytes_served,
+            cluster.device(name).stats.busy_time,
+            tuple(cluster.device(name).stats.throughput_samples),
+        )
+        for name in cluster.device_names
+    )
+    return (records, runner.clock.now, runner.db.access_count(), stats)
+
+
+def _time_trials(fn, *, repeats: int) -> tuple[float, list[float]]:
+    """Best-of-``repeats`` milliseconds plus the raw samples (seconds)."""
+    samples: list[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return min(samples) * 1000.0, samples
+
+
+def _measure_cell(
+    name: str, trial, *, fingerprint, repeats: int
+) -> SimulationCell:
+    """Equivalence-check then time one driver on both paths.
+
+    ``trial(batched)`` runs the driver end to end (environment
+    construction included -- that is what the experiment pays) and
+    returns its output; ``fingerprint`` reduces that output to an
+    exactly-comparable value and the served access count.
+    """
+    fp_batched, accesses = fingerprint(trial(True))
+    fp_reference, _ = fingerprint(trial(False))
+    batched_ms, batched_samples = _time_trials(
+        lambda: trial(True), repeats=repeats
+    )
+    reference_ms, reference_samples = _time_trials(
+        lambda: trial(False), repeats=repeats
+    )
+    return SimulationCell(
+        name=name,
+        accesses=accesses,
+        batched_ms=batched_ms,
+        reference_ms=reference_ms,
+        identical=fp_batched == fp_reference,
+        batched_samples_s=batched_samples,
+        reference_samples_s=reference_samples,
+    )
+
+
+def run_simulation_benchmark(
+    *,
+    scale: ExperimentScale = TEST_SCALE,
+    seed: int = 0,
+    runner_runs: int = 40,
+    repeats: int = 3,
+) -> SimulationBenchResult:
+    """Time the batched access pipeline against its scalar oracle.
+
+    Three driver loops: a bare workload runner (pure simulation), and the
+    Fig. 5a / Fig. 5b policy-experiment loops with their cheapest
+    policies (LRU, even spread) so the measurement is dominated by the
+    simulation rather than by model training that is identical on both
+    paths.  Every cell first verifies the two paths produce bit-for-bit
+    identical outputs on the exact benchmark inputs.
+    """
+    if runner_runs < 1:
+        raise ExperimentError(f"runner_runs must be >= 1, got {runner_runs}")
+    if repeats < 1:
+        raise ExperimentError(f"repeats must be >= 1, got {repeats}")
+    cells = [
+        _measure_cell(
+            "workload-runner",
+            lambda batched: _runner_trial(
+                runs=runner_runs, seed=seed, batched=batched
+            ),
+            fingerprint=lambda out: (
+                _runner_fingerprint(out), out[0].total_accesses
+            ),
+            repeats=repeats,
+        ),
+        _measure_cell(
+            "fig5a-lru",
+            lambda batched: run_policy_experiment(
+                LRUPolicy(), scale=scale, seed=seed, batched=batched
+            ),
+            fingerprint=lambda result: (
+                _policy_fingerprint(result), result.access_count
+            ),
+            repeats=repeats,
+        ),
+        _measure_cell(
+            "fig5b-even-spread",
+            lambda batched: run_policy_experiment(
+                EvenSpreadPolicy(), scale=scale, seed=seed, batched=batched
+            ),
+            fingerprint=lambda result: (
+                _policy_fingerprint(result), result.access_count
+            ),
+            repeats=repeats,
+        ),
+    ]
+    return SimulationBenchResult(cells=cells)

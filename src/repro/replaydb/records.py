@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.errors import ReplayDBError
 from repro.features.throughput import BYTES_PER_GB, access_throughput
@@ -48,6 +49,24 @@ class AccessRecord:
                 f"{self.open_time}"
             )
 
+    @classmethod
+    def _trusted(cls, state: dict) -> "AccessRecord":
+        """Construct from a pre-validated field dict, skipping ``__init__``.
+
+        The batched access pipeline builds records whose invariants hold
+        by construction (clamped millisecond parts, close strictly after
+        open), so it pays neither field-by-field frozen assignment nor
+        ``__post_init__`` re-validation.  ``state`` must contain every
+        dataclass field (including ``extra``) and may pre-seed the cached
+        ``throughput``/``throughput_gbps`` properties.  Populates the
+        instance ``__dict__`` directly -- the same route
+        ``cached_property`` uses -- which the frozen ``__setattr__``
+        cannot intercept.
+        """
+        record = cls.__new__(cls)
+        record.__dict__.update(state)
+        return record
+
     @property
     def open_time(self) -> float:
         """Open timestamp in fractional seconds."""
@@ -67,15 +86,20 @@ class AccessRecord:
     def total_bytes(self) -> int:
         return self.rb + self.wb
 
-    @property
+    @cached_property
     def throughput(self) -> float:
-        """Throughput of this access in bytes/second (paper's Tp_i)."""
+        """Throughput of this access in bytes/second (paper's Tp_i).
+
+        Cached per record; the batched access pipeline pre-seeds the
+        cache from one vectorized :func:`access_throughput` call (whose
+        elementwise result is bit-identical to this scalar evaluation).
+        """
         return float(
             access_throughput(self.rb, self.wb, self.ots, self.otms,
                               self.cts, self.ctms)
         )
 
-    @property
+    @cached_property
     def throughput_gbps(self) -> float:
         """Throughput in GB/s, the unit of Fig. 5 and Table IV."""
         return self.throughput / BYTES_PER_GB

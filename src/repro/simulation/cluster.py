@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.errors import (
     CapacityError,
@@ -14,10 +16,11 @@ from repro.errors import (
     UnknownDeviceError,
     UnknownFileError,
 )
+from repro.features.throughput import BYTES_PER_GB
 from repro.observability import get_observability
 from repro.replaydb.records import AccessRecord, MovementRecord
 from repro.simulation.clock import timestamp_parts
-from repro.simulation.device import StorageDevice
+from repro.simulation.device import GBPS, MIN_ACCESS_DURATION, StorageDevice
 from repro.simulation.network import TransferLink
 
 
@@ -35,6 +38,125 @@ class FileInfo:
             raise SimulationError(
                 f"file {self.fid} must have positive size, got {self.size_bytes}"
             )
+
+
+@dataclass
+class BatchAccessResult:
+    """Outcome of :meth:`StorageCluster.access_batch`.
+
+    ``end_time`` is the simulated time after the last processed op
+    (including think time / offline penalties), ``failed`` counts ops
+    rejected by offline devices under ``tolerate_offline``, and
+    ``pending_error`` carries the :class:`DeviceOfflineError` that stopped
+    the batch when offline tolerance is off -- the caller finalizes its
+    bookkeeping (records already completed, clock position) and re-raises.
+    """
+
+    records: list[AccessRecord] = field(default_factory=list)
+    failed: int = 0
+    end_time: float = 0.0
+    pending_error: Exception | None = None
+
+
+class _ScanDevice:
+    """Per-device scratch state for one :meth:`access_batch` scan.
+
+    Besides the pre-drawn randomness and rewind snapshots, it caches the
+    device's loop-invariant serving constants so the scan's hot path pays
+    slot lookups instead of ``spec`` attribute chains.  ``degradation``
+    and ``online`` stay live reads on the device -- fault injectors flip
+    them mid-batch through ``advance_hook``.
+    """
+
+    __slots__ = (
+        "device", "cursor", "rng_state0", "rng_cache_state0",
+        # per-op inputs grouped in op order (cursor-indexed)
+        "rb_d", "wb_d",
+        # pre-drawn randomness (cursor-indexed lists or None)
+        "hit", "noise",
+        # loop-invariant serving constants
+        "name", "fsid", "sens", "load", "crowding", "window_capacity",
+        "window_s", "read_base", "write_base", "cache_base", "latency",
+        # deferred per-device outputs (served ops only, in serve order)
+        "durs", "tots",
+    )
+
+    def __init__(self, device: StorageDevice) -> None:
+        self.device = device
+        self.cursor = 0
+        self.rng_state0 = None
+        self.rng_cache_state0 = None
+        self.rb_d = []
+        self.wb_d = []
+        self.hit = None
+        self.noise = None
+        spec = device.spec
+        self.name = spec.name
+        self.fsid = spec.fsid
+        self.sens = spec.interference_sensitivity
+        self.load = device.interference.load
+        self.crowding = spec.crowding_factor
+        self.window_capacity = device._window_capacity
+        self.window_s = spec.utilization_window_s
+        self.read_base = spec.read_gbps * GBPS
+        self.write_base = spec.write_gbps * GBPS
+        self.cache_base = spec.cache_gbps * GBPS
+        self.latency = spec.latency_s
+        self.durs = []
+        self.tots = []
+
+    def snapshot_and_prepare(self) -> None:
+        """Snapshot the RNG streams, then pre-draw for the grouped ops."""
+        device = self.device
+        self.rng_state0 = device._rng.bit_generator.state
+        self.rng_cache_state0 = device._rng_cache.bit_generator.state
+        draws = device.prepare_batch(self.rb_d, self.wb_d, validate=False)
+        self.hit = draws.hit
+        self.noise = draws.noise
+
+    def flush_stats(self) -> None:
+        """Apply the deferred per-device accounting.
+
+        Bit-for-bit the scalar bookkeeping: ``busy_time`` and the
+        throughput aggregates accumulate per op in serve order; only the
+        loop moved out of the per-op hot path.
+        """
+        durs = self.durs
+        if not durs:
+            return
+        stats = self.device.stats
+        tots = self.tots
+        stats.accesses += len(durs)
+        stats.bytes_served += sum(tots)
+        busy = stats.busy_time
+        for duration in durs:
+            busy += duration
+        stats.busy_time = busy
+        stats.extend_samples(
+            [total / duration for total, duration in zip(tots, durs)]
+        )
+
+    def rewind_unconsumed_draws(self) -> None:
+        """Roll the RNG streams back to cover only the ops actually reached.
+
+        Used when a batch aborts partway (offline device, tolerance off):
+        the scalar reference would have consumed draws only for the ops up
+        to and including the failing one, so the pre-drawn remainder is
+        undone by restoring the pre-batch states and re-consuming exactly
+        ``cursor`` ops' worth of draws.
+        """
+        device = self.device
+        spec = device.spec
+        k = self.cursor
+        device._rng.bit_generator.state = self.rng_state0
+        device._rng_cache.bit_generator.state = self.rng_cache_state0
+        misses = k
+        if spec.cache_hit_rate:
+            u = device._rng_cache.random(k)
+            misses = k - int(np.count_nonzero(u < spec.cache_hit_rate))
+        if spec.noise_sigma and misses:
+            sigma = spec.noise_sigma
+            device._rng.lognormal(-sigma * sigma / 2.0, sigma, misses)
 
 
 class StorageCluster:
@@ -63,6 +185,10 @@ class StorageCluster:
         self._by_fsid: dict[int, StorageDevice] = {d.fsid: d for d in devices}
         self.link = link if link is not None else TransferLink()
         self._files: dict[int, FileInfo] = {}
+        #: incremental per-device stored-byte counters; kept in sync by
+        #: every namespace mutation so capacity checks are O(1) instead of
+        #: an O(n-files) scan per placement
+        self._stored_bytes: dict[str, int] = {d.name: 0 for d in devices}
         #: optional fault hook consulted by :meth:`migrate`.  Called with
         #: ``(fid, src, dst, t, size_bytes)``; returning a fraction in
         #: (0, 1] aborts the transfer after that share of the bytes moved
@@ -120,6 +246,7 @@ class StorageCluster:
             raise SimulationError(f"duplicate fsid: {device.fsid}")
         self._devices[device.name] = device
         self._by_fsid[device.fsid] = device
+        self._stored_bytes[device.name] = 0
 
     # -- availability ----------------------------------------------------
     @property
@@ -179,6 +306,7 @@ class StorageCluster:
         info = FileInfo(fid=fid, path=path, size_bytes=size_bytes, device=device)
         self._check_capacity(device, size_bytes)
         self._files[fid] = info
+        self._stored_bytes[device] += size_bytes
         return info
 
     def restore_file(
@@ -200,6 +328,7 @@ class StorageCluster:
         self.device(device)  # validate the device name only
         info = FileInfo(fid=fid, path=path, size_bytes=size_bytes, device=device)
         self._files[fid] = info
+        self._stored_bytes[device] += size_bytes
         return info
 
     def file(self, fid: int) -> FileInfo:
@@ -225,11 +354,12 @@ class StorageCluster:
         return [info for info in self._files.values() if info.device == device]
 
     def stored_bytes(self, device: str) -> int:
-        return sum(info.size_bytes for info in self.files_on(device))
+        self.device(device)  # validate
+        return self._stored_bytes[device]
 
     def _check_capacity(self, device: str, extra_bytes: int) -> None:
         spec = self.device(device).spec
-        if self.stored_bytes(device) + extra_bytes > spec.capacity_bytes:
+        if self._stored_bytes[device] + extra_bytes > spec.capacity_bytes:
             raise CapacityError(
                 f"placing {extra_bytes} bytes on {device!r} would exceed its "
                 f"capacity of {spec.capacity_bytes} bytes"
@@ -247,6 +377,10 @@ class StorageCluster:
             rb = info.size_bytes
         device = self.device(info.device)
         if not device.online:
+            # Burn the draws a served access would have consumed so the
+            # RNG position depends only on the op sequence, never on fault
+            # state (the contract the batch path's pre-drawing relies on).
+            device.burn_access_draws()
             raise DeviceOfflineError(
                 f"file {fid} is stranded on offline device {info.device!r}"
             )
@@ -266,6 +400,224 @@ class StorageCluster:
             cts=cts,
             ctms=ctms,
         )
+
+    def access_batch(
+        self,
+        fids,
+        t0: float,
+        rb=None,
+        wb=None,
+        *,
+        think_time_s: float = 0.0,
+        tolerate_offline: bool = False,
+        offline_penalty_s: float = 0.0,
+        advance_hook: Callable[[float], None] | None = None,
+    ) -> BatchAccessResult:
+        """Serve a whole run's ops in one batched scan.
+
+        Equivalent -- bit-for-bit, including RNG draw order per device --
+        to a loop of :meth:`access` calls that advances a clock by each
+        record's (millisecond-truncated) duration plus ``think_time_s``,
+        with offline accesses charged ``offline_penalty_s + think_time_s``
+        under ``tolerate_offline`` (the :class:`WorkloadRunner` contract).
+
+        All randomness is pre-drawn per device with vectorized generator
+        calls; the sequential scan then resolves each op against the
+        crowding created by its predecessors.  ``advance_hook`` is called
+        with the simulated time after every *successful* access -- the
+        seam fault injectors use to flip devices offline mid-batch (draws
+        for rejected ops stay burned, so the pre-draw stays aligned).
+
+        The layout must not change during the batch (no concurrent
+        migrations).  When an offline device stops a non-tolerant batch,
+        the error is returned in :attr:`BatchAccessResult.pending_error`
+        (not raised) with the already-completed records, and the unused
+        pre-drawn randomness is rolled back so the devices' RNG streams
+        sit exactly where the scalar loop would have left them.
+        """
+        fid_list = (
+            fids.tolist() if isinstance(fids, np.ndarray) else [int(f) for f in fids]
+        )
+        n = len(fid_list)
+        if rb is None:
+            rb_list = [0] * n
+        else:
+            rb_list = (
+                rb.tolist() if isinstance(rb, np.ndarray) else [int(v) for v in rb]
+            )
+        if wb is None:
+            wb_list = [0] * n
+        else:
+            wb_list = (
+                wb.tolist() if isinstance(wb, np.ndarray) else [int(v) for v in wb]
+            )
+        if len(rb_list) != n or len(wb_list) != n:
+            raise SimulationError("fids/rb/wb must be equal-length arrays")
+
+        # Resolve files, default byte counts, pre-validate every op, and
+        # group ops by device -- all in one pass, before any randomness is
+        # consumed.  The fid cache is sound because the layout is frozen
+        # for the duration of the batch.
+        scan_devices: dict[str, _ScanDevice] = {}
+        fid_cache: dict[int, tuple[FileInfo, _ScanDevice]] = {}
+        op_state: list[_ScanDevice] = []
+        paths: list[str] = []
+        for i in range(n):
+            fid = fid_list[i]
+            entry = fid_cache.get(fid)
+            if entry is None:
+                info = self.file(fid)
+                state = scan_devices.get(info.device)
+                if state is None:
+                    state = _ScanDevice(self._devices[info.device])
+                    scan_devices[info.device] = state
+                entry = (info, state)
+                fid_cache[fid] = entry
+            info, state = entry
+            rbi = rb_list[i]
+            wbi = wb_list[i]
+            if rbi < 0 or wbi < 0:
+                raise SimulationError(
+                    f"byte counts must be non-negative (rb={rbi}, wb={wbi})"
+                )
+            if rbi == 0 and wbi == 0:
+                rb_list[i] = info.size_bytes
+            op_state.append(state)
+            paths.append(info.path)
+            state.rb_d.append(rb_list[i])
+            state.wb_d.append(wbi)
+        for state in scan_devices.values():
+            state.snapshot_and_prepare()
+
+        result = BatchAccessResult()
+        t = float(t0)
+        pending: Exception | None = None
+        #: per-served-op record fields, materialized after the scan
+        served: list[tuple] = []
+        append_served = served.append
+        for i in range(n):
+            state = op_state[i]
+            dev = state.device
+            k = state.cursor
+            state.cursor = k + 1
+            if not dev.online:
+                # This op's draws stay burned (matching burn_access_draws
+                # on the scalar path).
+                if not tolerate_offline:
+                    pending = DeviceOfflineError(
+                        f"file {fid_list[i]} is stranded on offline device "
+                        f"{state.name!r}"
+                    )
+                    break
+                result.failed += 1
+                t += offline_penalty_s + think_time_s
+                continue
+            rbi = rb_list[i]
+            wbi = wb_list[i]
+            total = rbi + wbi
+            hit = state.hit
+            if hit is not None and hit[k]:
+                # Inlined serve_prepared cache-hit path: load-independent,
+                # same float-op order as the scalar branch.
+                duration = state.latency + total / state.cache_base
+                if duration < MIN_ACCESS_DURATION:
+                    duration = MIN_ACCESS_DURATION
+            else:
+                # Inlined StorageDevice.serve_prepared miss path: same
+                # float-op order, with the loop-invariant spec constants
+                # read off the scan state.  degradation/online stay live
+                # reads -- advance_hook may flip them between ops.
+                ext = state.sens * state.load(t)
+                if ext > 0.95:
+                    ext = 0.95
+                rt = dev._recent_t
+                head = dev._recent_head
+                if head < len(rt) and rt[head] < t - state.window_s:
+                    dev._prune_recent(t)
+                crowd = state.crowding * (
+                    dev._recent_sum / state.window_capacity
+                )
+                deg = dev.degradation
+                one_minus_ext = 1.0 - ext
+                denom = 1.0 + crowd
+                transfer = 0.0
+                if rbi:
+                    transfer += rbi / (
+                        state.read_base * deg * one_minus_ext / denom
+                    )
+                if wbi:
+                    transfer += wbi / (
+                        state.write_base * deg * one_minus_ext / denom
+                    )
+                noise = state.noise
+                if noise is not None:
+                    transfer *= noise[k]
+                duration = state.latency + transfer
+                if duration < MIN_ACCESS_DURATION:
+                    duration = MIN_ACCESS_DURATION
+            close = t + duration
+            # Inlined _window_append; stats are deferred to flush_stats.
+            dev._recent_t.append(close)
+            dev._recent_b.append(total)
+            dev._recent_sum += total
+            state.durs.append(duration)
+            state.tots.append(total)
+            # Inlined timestamp_parts (t is monotone non-negative here).
+            ots = int(t)
+            otms = int((t - ots) * 1000.0)
+            if otms > 999:
+                otms = 999
+            cts = int(close)
+            ctms = int((close - cts) * 1000.0)
+            if ctms > 999:
+                ctms = 999
+            # ms-truncated duration: the clock advance AND the throughput
+            # denominator, exactly the floats access_throughput computes.
+            trunc = (cts + ctms / 1000.0) - (ots + otms / 1000.0)
+            append_served(
+                (fid_list[i], state.fsid, state.name, paths[i], rbi, wbi,
+                 ots, otms, cts, ctms, total / trunc)
+            )
+            # The clock advances by the record's ms-truncated duration,
+            # exactly as the scalar runner does.
+            t += trunc + think_time_s
+            if advance_hook is not None:
+                advance_hook(t)
+        # Ops completed before an abort keep their accounting, exactly as
+        # the scalar loop would have left it.
+        for state in scan_devices.values():
+            state.flush_stats()
+        records = result.records
+        if served:
+            self._m_accesses.inc(len(served))
+            trusted = AccessRecord._trusted
+            append_record = records.append
+            # The scan already computed each op's throughput with the
+            # exact floats of the scalar property (total / ms-truncated
+            # duration), so the cached properties are pre-seeded here.
+            for (fid, fsid, name, path, rbi, wbi, ots, otms, cts, ctms,
+                 tp) in served:
+                append_record(trusted({
+                    "fid": fid,
+                    "fsid": fsid,
+                    "device": name,
+                    "path": path,
+                    "rb": rbi,
+                    "wb": wbi,
+                    "ots": ots,
+                    "otms": otms,
+                    "cts": cts,
+                    "ctms": ctms,
+                    "extra": {},
+                    "throughput": tp,
+                    "throughput_gbps": tp / BYTES_PER_GB,
+                }))
+        if pending is not None:
+            for state in scan_devices.values():
+                state.rewind_unconsumed_draws()
+        result.end_time = t
+        result.pending_error = pending
+        return result
 
     def migrate(self, fid: int, dst: str, t: float) -> MovementRecord | None:
         """Move a file to device ``dst`` starting at time ``t``.
@@ -335,6 +687,8 @@ class StorageCluster:
             bytes_moved=info.size_bytes,
             duration=duration,
         )
+        self._stored_bytes[info.device] -= info.size_bytes
+        self._stored_bytes[dst] += info.size_bytes
         info.device = dst
         return move
 
@@ -414,6 +768,8 @@ class StorageCluster:
             bytes_moved=info.size_bytes,
             duration=now - t,
         )
+        self._stored_bytes[info.device] -= info.size_bytes
+        self._stored_bytes[dst] += info.size_bytes
         info.device = dst
         return move
 

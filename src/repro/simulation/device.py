@@ -15,12 +15,34 @@ live system exhibits:
 * **Heavy-tailed noise** -- Table IV's per-device standard deviations exceed
   the means, which a cache-hit mechanism (occasional much-faster accesses)
   plus lognormal service noise reproduces.
+
+Two access paths share this model:
+
+* the **scalar reference** (:meth:`StorageDevice.perform_access_reference`,
+  aliased as ``perform_access``) serves one access per call and is the
+  oracle the fast path is regression-tested against;
+* the **batch kernels** (:meth:`StorageDevice.prepare_batch` +
+  :meth:`StorageDevice.serve_prepared`, or the one-shot
+  :meth:`StorageDevice.serve_batch`) pre-draw all randomness for a whole
+  array of accesses with vectorized generator calls, then serve them in a
+  tight scan.
+
+RNG-draw-order contract: each device owns two independent streams -- a
+cache-hit uniform stream (``default_rng((seed, fsid, 1))``) and a
+service-noise lognormal stream (``default_rng((seed, fsid))``).  A served
+access consumes one uniform (iff ``cache_hit_rate > 0``) and one lognormal
+(iff it missed the cache and ``noise_sigma > 0``).  An access *rejected by
+an offline device* burns the same draws (:meth:`burn_access_draws`), so the
+number of draws consumed depends only on the op sequence, never on fault
+state -- which is what makes whole-batch pre-drawing safe across mid-batch
+online/offline transitions.  Numpy's batched ``random(n)`` /
+``lognormal(.., n)`` produce bit-identical values and end states to ``n``
+sequential scalar calls, so the batch path replays the reference exactly.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -95,24 +117,152 @@ class DeviceSpec:
             )
 
 
-@dataclass
 class DeviceStats:
-    """Cumulative accounting for one device."""
+    """Cumulative accounting for one device.
 
-    accesses: int = 0
-    bytes_served: int = 0
-    busy_time: float = 0.0
-    throughput_samples: list[float] = field(default_factory=list)
+    Throughput samples live in a growable float64 buffer, and the mean/std
+    telemetry reads come from running sum/sum-of-squares aggregates, so a
+    telemetry query costs O(1) instead of an O(n) ``np.mean``/``np.std``
+    over the full history.
+    """
 
+    __slots__ = ("accesses", "bytes_served", "busy_time", "_buf", "_n", "_sum", "_sumsq")
+
+    _INITIAL_CAPACITY = 256
+
+    def __init__(
+        self,
+        accesses: int = 0,
+        bytes_served: int = 0,
+        busy_time: float = 0.0,
+        throughput_samples: list[float] | None = None,
+    ) -> None:
+        self.accesses = int(accesses)
+        self.bytes_served = int(bytes_served)
+        self.busy_time = float(busy_time)
+        self._buf = np.empty(self._INITIAL_CAPACITY, dtype=np.float64)
+        self._n = 0
+        self._sum = 0.0
+        self._sumsq = 0.0
+        if throughput_samples:
+            for value in throughput_samples:
+                self.append_sample(float(value))
+
+    # -- samples -----------------------------------------------------------
+    @property
+    def sample_count(self) -> int:
+        return self._n
+
+    @property
+    def throughput_samples(self) -> list[float]:
+        """The recorded samples as a plain list (copy)."""
+        return self._buf[: self._n].tolist()
+
+    @throughput_samples.setter
+    def throughput_samples(self, samples) -> None:
+        self._buf = np.empty(
+            max(self._INITIAL_CAPACITY, len(samples)), dtype=np.float64
+        )
+        self._n = 0
+        self._sum = 0.0
+        self._sumsq = 0.0
+        for value in samples:
+            self.append_sample(float(value))
+
+    def sample_array(self) -> np.ndarray:
+        """Read-only view of the sample buffer (no copy)."""
+        view = self._buf[: self._n]
+        view.flags.writeable = False
+        return view
+
+    def append_sample(self, value: float) -> None:
+        n = self._n
+        buf = self._buf
+        if n == buf.shape[0]:
+            grown = np.empty(n * 2, dtype=np.float64)
+            grown[:n] = buf
+            self._buf = buf = grown
+        buf[n] = value
+        self._n = n + 1
+        self._sum += value
+        self._sumsq += value * value
+
+    def extend_samples(self, values: list[float]) -> None:
+        """Append many samples at once.
+
+        Bit-for-bit equivalent to calling :meth:`append_sample` per value
+        -- the running aggregates accumulate in the same left-to-right
+        order -- but grows the buffer at most once and accumulates in a
+        tight local loop.
+        """
+        m = len(values)
+        if not m:
+            return
+        n = self._n
+        buf = self._buf
+        need = n + m
+        if need > buf.shape[0]:
+            grown = np.empty(max(need, buf.shape[0] * 2), dtype=np.float64)
+            grown[:n] = buf[:n]
+            self._buf = buf = grown
+        buf[n:need] = values
+        self._n = need
+        total = self._sum
+        sumsq = self._sumsq
+        for value in values:
+            total += value
+            sumsq += value * value
+        self._sum = total
+        self._sumsq = sumsq
+
+    # -- telemetry reads ---------------------------------------------------
     def mean_throughput_gbps(self) -> float:
-        if not self.throughput_samples:
+        if not self._n:
             raise SimulationError("no accesses recorded on this device")
-        return float(np.mean(self.throughput_samples)) / GBPS
+        return self._sum / self._n / GBPS
 
     def std_throughput_gbps(self) -> float:
-        if not self.throughput_samples:
+        if not self._n:
             raise SimulationError("no accesses recorded on this device")
-        return float(np.std(self.throughput_samples)) / GBPS
+        mean = self._sum / self._n
+        variance = self._sumsq / self._n - mean * mean
+        if variance < 0.0:
+            variance = 0.0
+        return float(np.sqrt(variance)) / GBPS
+
+    def __repr__(self) -> str:
+        return (
+            f"DeviceStats(accesses={self.accesses}, "
+            f"bytes_served={self.bytes_served}, busy_time={self.busy_time}, "
+            f"samples={self._n})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DeviceStats):
+            return NotImplemented
+        return (
+            self.accesses == other.accesses
+            and self.bytes_served == other.bytes_served
+            and self.busy_time == other.busy_time
+            and self.throughput_samples == other.throughput_samples
+        )
+
+
+class _BatchDraws:
+    """Pre-drawn randomness for a batch of accesses on one device.
+
+    ``hit`` is a per-op cache-hit flag list (``None`` when the device has
+    no cache), ``noise`` a per-op lognormal factor list aligned with the
+    ops (``None`` when ``noise_sigma == 0``; entries at cache-hit
+    positions are placeholders and never read).
+    """
+
+    __slots__ = ("n", "hit", "noise")
+
+    def __init__(self, n: int, hit, noise) -> None:
+        self.n = n
+        self.hit = hit
+        self.noise = noise
 
 
 class StorageDevice:
@@ -127,8 +277,21 @@ class StorageDevice:
     ) -> None:
         self.spec = spec
         self.interference = interference if interference is not None else ConstantLoad(0.0)
+        #: service-noise (lognormal) stream
         self._rng = np.random.default_rng((seed, spec.fsid))
-        self._recent: deque[tuple[float, int]] = deque()
+        #: cache-hit (uniform) stream -- independent of the noise stream so
+        #: each can be pre-drawn as one vectorized call per batch
+        self._rng_cache = np.random.default_rng((seed, spec.fsid, 1))
+        # Crowding window: parallel (completion_time, bytes) arrays with a
+        # head cursor and a running byte sum, so pruning is amortized O(1)
+        # and the window sum needs no per-query O(window) scan.
+        self._recent_t: list[float] = []
+        self._recent_b: list[int] = []
+        self._recent_head = 0
+        self._recent_sum = 0
+        self._window_capacity = (
+            spec.read_gbps * GBPS * spec.utilization_window_s
+        )
         self.stats = DeviceStats()
         #: whether the device accepts *new* placements; existing data keeps
         #: being served ("permissions or availability changes", paper V-H)
@@ -149,10 +312,32 @@ class StorageDevice:
         return self.spec.fsid
 
     # -- contention model ----------------------------------------------------
+    def _window_entries(self) -> list[tuple[float, int]]:
+        """Live (completion_time, bytes) entries, oldest first."""
+        head = self._recent_head
+        return list(zip(self._recent_t[head:], self._recent_b[head:]))
+
+    def _window_append(self, completion: float, nbytes: int) -> None:
+        self._recent_t.append(completion)
+        self._recent_b.append(nbytes)
+        self._recent_sum += nbytes
+
     def _prune_recent(self, t: float) -> None:
         horizon = t - self.spec.utilization_window_s
-        while self._recent and self._recent[0][0] < horizon:
-            self._recent.popleft()
+        times = self._recent_t
+        n = len(times)
+        head = self._recent_head
+        total = self._recent_sum
+        while head < n and times[head] < horizon:
+            total -= self._recent_b[head]
+            head += 1
+        if head != self._recent_head:
+            self._recent_sum = total
+            if head > 512 and head * 2 > n:
+                del self._recent_t[:head]
+                del self._recent_b[:head]
+                head = 0
+            self._recent_head = head
 
     def utilization(self, t: float) -> float:
         """Recent traffic as a fraction of what the device could serve.
@@ -161,9 +346,7 @@ class StorageDevice:
         capacity; can exceed 1 when migrations pile on extra load.
         """
         self._prune_recent(t)
-        window_bytes = sum(b for _, b in self._recent)
-        window_capacity = self.spec.read_gbps * GBPS * self.spec.utilization_window_s
-        return window_bytes / window_capacity
+        return self._recent_sum / self._window_capacity
 
     def external_load(self, t: float) -> float:
         """Interference at ``t`` scaled by this device's sensitivity."""
@@ -176,7 +359,7 @@ class StorageDevice:
         crowd = self.spec.crowding_factor * self.utilization(t)
         return base * self.degradation * (1.0 - ext) / (1.0 + crowd)
 
-    # -- service ---------------------------------------------------------
+    # -- scalar reference path ---------------------------------------------
     def service_time(self, t: float, rb: int, wb: int) -> float:
         """Sampled duration of an access starting at ``t`` (seconds)."""
         if rb < 0 or wb < 0:
@@ -185,7 +368,7 @@ class StorageDevice:
             )
         if rb == 0 and wb == 0:
             raise SimulationError("access must read or write at least one byte")
-        if self.spec.cache_hit_rate and self._rng.random() < self.spec.cache_hit_rate:
+        if self.spec.cache_hit_rate and self._rng_cache.random() < self.spec.cache_hit_rate:
             transfer = (rb + wb) / (self.spec.cache_gbps * GBPS)
         else:
             transfer = 0.0
@@ -199,17 +382,198 @@ class StorageDevice:
                 transfer *= self._rng.lognormal(-sigma * sigma / 2.0, sigma)
         return max(self.spec.latency_s + transfer, MIN_ACCESS_DURATION)
 
-    def perform_access(self, t: float, rb: int, wb: int) -> float:
-        """Serve an access and account for it; returns the duration."""
+    def perform_access_reference(self, t: float, rb: int, wb: int) -> float:
+        """Scalar oracle: serve one access and account for it.
+
+        This is the reference implementation the batch kernels are
+        equivalence-tested against; it stays the semantic source of truth.
+        Returns the access duration.
+        """
         duration = self.service_time(t, rb, wb)
         total = rb + wb
-        self._recent.append((t + duration, total))
+        self._window_append(t + duration, total)
         self.stats.accesses += 1
         self.stats.bytes_served += total
         self.stats.busy_time += duration
-        self.stats.throughput_samples.append(total / duration)
+        self.stats.append_sample(total / duration)
         return duration
 
+    #: canonical name used by the cluster's scalar path
+    perform_access = perform_access_reference
+
+    def burn_access_draws(self) -> None:
+        """Consume the draws a served access would have, discarding them.
+
+        Called when an access is rejected (offline device) so the RNG
+        draw count stays a function of the op sequence alone.  This keeps
+        fault-free and faulted runs on shared noise streams, and lets the
+        batch path pre-draw a whole run regardless of mid-run faults.
+        """
+        spec = self.spec
+        if spec.cache_hit_rate:
+            if self._rng_cache.random() < spec.cache_hit_rate:
+                return  # would have been a cache hit: no noise draw
+        if spec.noise_sigma:
+            sigma = spec.noise_sigma
+            self._rng.lognormal(-sigma * sigma / 2.0, sigma)
+
+    # -- batch kernels -----------------------------------------------------
+    def prepare_batch(self, rb, wb, *, validate: bool = True) -> _BatchDraws:
+        """Pre-draw all randomness for ``n`` accesses in op order.
+
+        ``rb``/``wb`` are the per-op byte counts (array-likes of equal
+        length).  Consumes exactly the draws ``n`` sequential
+        :meth:`service_time` calls would: one uniform per op on the
+        cache stream (iff the device caches), one lognormal per cache
+        *miss* on the noise stream (iff it has noise).  Ops that later
+        fail against an offline device keep their draws burned, matching
+        :meth:`burn_access_draws` on the scalar path.  ``validate=False``
+        skips the byte-count checks for callers that already validated
+        (the cluster's batch scan pre-validates every op); only the op
+        *count* matters for the draws, so the byte arrays are not even
+        converted.
+        """
+        if validate:
+            rb = np.asarray(rb, dtype=np.int64)
+            wb = np.asarray(wb, dtype=np.int64)
+            if rb.shape != wb.shape or rb.ndim != 1:
+                raise SimulationError("rb/wb must be equal-length 1-D arrays")
+            if rb.size and (int(rb.min()) < 0 or int(wb.min()) < 0):
+                raise SimulationError("byte counts must be non-negative")
+            if rb.size and not int(np.min(rb + wb)) > 0:
+                raise SimulationError(
+                    "access must read or write at least one byte"
+                )
+            n = rb.size
+        else:
+            n = len(rb)
+        spec = self.spec
+        hit_list = None
+        miss_count = n
+        hit = None
+        if spec.cache_hit_rate and n:
+            u = self._rng_cache.random(n)
+            hit = u < spec.cache_hit_rate
+            miss_count = n - int(np.count_nonzero(hit))
+            hit_list = hit.tolist()
+        elif spec.cache_hit_rate:
+            hit_list = []
+        noise_list = None
+        if spec.noise_sigma:
+            sigma = spec.noise_sigma
+            if miss_count:
+                z = self._rng.lognormal(-sigma * sigma / 2.0, sigma, miss_count)
+            else:
+                z = np.empty(0, dtype=np.float64)
+            if hit is None:
+                noise = z
+            else:
+                noise = np.ones(n, dtype=np.float64)
+                noise[~hit] = z
+            noise_list = noise.tolist()
+        return _BatchDraws(n, hit_list, noise_list)
+
+    def serve_prepared(
+        self,
+        t: float,
+        rb: int,
+        wb: int,
+        hit: bool,
+        noise: float,
+        ext: float | None = None,
+    ) -> float:
+        """Serve one pre-drawn access; returns its duration.
+
+        Mirrors :meth:`perform_access_reference` float-op for float-op,
+        with the randomness (``hit``, ``noise``) supplied from
+        :meth:`prepare_batch` instead of drawn inline.  ``ext`` optionally
+        supplies a precomputed sensitivity-scaled external load (the
+        vectorized path); when ``None`` the scalar interference process is
+        queried, which is bit-identical to the reference.
+        """
+        spec = self.spec
+        if hit:
+            transfer = (rb + wb) / (spec.cache_gbps * GBPS)
+        else:
+            if ext is None:
+                ext = spec.interference_sensitivity * self.interference.load(t)
+            if ext > 0.95:
+                ext = 0.95
+            self._prune_recent(t)
+            crowd = spec.crowding_factor * (
+                self._recent_sum / self._window_capacity
+            )
+            # Same left-to-right float-op order as effective_bandwidth().
+            deg = self.degradation
+            one_minus_ext = 1.0 - ext
+            denom = 1.0 + crowd
+            transfer = 0.0
+            if rb:
+                transfer += rb / (
+                    spec.read_gbps * GBPS * deg * one_minus_ext / denom
+                )
+            if wb:
+                transfer += wb / (
+                    spec.write_gbps * GBPS * deg * one_minus_ext / denom
+                )
+            if spec.noise_sigma:
+                transfer *= noise
+        duration = spec.latency_s + transfer
+        if duration < MIN_ACCESS_DURATION:
+            duration = MIN_ACCESS_DURATION
+        total = rb + wb
+        self._window_append(t + duration, total)
+        stats = self.stats
+        stats.accesses += 1
+        stats.bytes_served += total
+        stats.busy_time += duration
+        stats.append_sample(total / duration)
+        return duration
+
+    def serve_batch(self, t, rb, wb) -> np.ndarray:
+        """Serve a whole array of accesses; returns their durations.
+
+        ``t`` carries the per-op start times (already known to the
+        caller), ``rb``/``wb`` the byte counts.  Randomness is pre-drawn
+        with one vectorized generator call per stream, external loads are
+        evaluated with :meth:`LoadProcess.load_batch`, and the ops are
+        then served in order so each sees the crowding created by its
+        predecessors.  Equivalent to ``n`` ``perform_access_reference``
+        calls -- bit-for-bit except for sinusoidal interference, where
+        ``np.sin`` may differ from ``math.sin`` by one ulp.
+        """
+        t = np.asarray(t, dtype=np.float64)
+        if t.ndim != 1:
+            raise SimulationError("t must be a 1-D array")
+        draws = self.prepare_batch(rb, wb)
+        if t.size != draws.n:
+            raise SimulationError("t/rb/wb must be equal-length arrays")
+        n = draws.n
+        durations = np.empty(n, dtype=np.float64)
+        if not n:
+            return durations
+        ext_arr = (
+            self.spec.interference_sensitivity
+            * self.interference.load_batch(t)
+        ).tolist()
+        t_list = t.tolist()
+        rb_list = np.asarray(rb, dtype=np.int64).tolist()
+        wb_list = np.asarray(wb, dtype=np.int64).tolist()
+        hit = draws.hit
+        noise = draws.noise
+        serve = self.serve_prepared
+        for i in range(n):
+            durations[i] = serve(
+                t_list[i],
+                rb_list[i],
+                wb_list[i],
+                hit[i] if hit is not None else False,
+                noise[i] if noise is not None else 1.0,
+                ext_arr[i],
+            )
+        return durations
+
+    # -- migrations --------------------------------------------------------
     def absorb_transfer(self, t: float, nbytes: int, duration: float) -> None:
         """Account for migration traffic that hits this device.
 
@@ -219,30 +583,34 @@ class StorageDevice:
         """
         if nbytes < 0 or duration < 0:
             raise SimulationError("transfer bytes/duration must be non-negative")
-        self._recent.append((t + duration, nbytes))
+        self._window_append(t + duration, nbytes)
         self.stats.busy_time += duration
 
     def reset_stats(self) -> None:
         self.stats = DeviceStats()
-        self._recent.clear()
+        self._recent_t = []
+        self._recent_b = []
+        self._recent_head = 0
+        self._recent_sum = 0
 
     # -- checkpointing -----------------------------------------------------
     def state_dict(self) -> dict:
         """JSON-serializable runtime state (spec excluded -- it is static).
 
-        Covers everything that influences future service times: the noise
-        RNG stream, the crowding window, fault flags, and the cumulative
+        Covers everything that influences future service times: both RNG
+        streams, the crowding window, fault flags, and the cumulative
         stats, so a restored device replays the exact same access
         durations as the original would have.
         """
         return {
             "rng": self._rng.bit_generator.state,
-            "recent": [[t, b] for t, b in self._recent],
+            "rng_cache": self._rng_cache.bit_generator.state,
+            "recent": [[t, b] for t, b in self._window_entries()],
             "stats": {
                 "accesses": self.stats.accesses,
                 "bytes_served": self.stats.bytes_served,
                 "busy_time": self.stats.busy_time,
-                "throughput_samples": list(self.stats.throughput_samples),
+                "throughput_samples": self.stats.throughput_samples,
             },
             "available": self.available,
             "online": self.online,
@@ -251,9 +619,12 @@ class StorageDevice:
 
     def load_state_dict(self, state: dict) -> None:
         self._rng.bit_generator.state = state["rng"]
-        self._recent = deque(
-            (float(t), int(b)) for t, b in state["recent"]
-        )
+        if "rng_cache" in state:
+            self._rng_cache.bit_generator.state = state["rng_cache"]
+        self._recent_t = [float(t) for t, _ in state["recent"]]
+        self._recent_b = [int(b) for _, b in state["recent"]]
+        self._recent_head = 0
+        self._recent_sum = sum(self._recent_b)
         stats = state["stats"]
         self.stats = DeviceStats(
             accesses=int(stats["accesses"]),

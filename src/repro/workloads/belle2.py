@@ -129,6 +129,48 @@ class Belle2Workload:
                 ops.append(AccessOp(fid=spec.fid, rb=rb, wb=wb))
         return ops
 
+    def run_arrays(
+        self, run_index: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Run ``run_index`` materialized as ``(fids, rb, wb)`` arrays.
+
+        The batched runner's input format: byte-for-byte the same access
+        stream :meth:`run` replays op by op, generated with vectorized
+        draws.  The scalar loop interleaves one ``uniform`` and one
+        ``random`` per op -- each consuming exactly one double from the
+        stream -- so one ``random(2 * burst)`` call per file yields the
+        identical doubles, and ``uniform(lo, hi)`` is reproduced exactly
+        as ``lo + (hi - lo) * d`` (numpy's own formula).
+        """
+        if run_index < 0:
+            raise ConfigurationError(f"run_index must be >= 0, got {run_index}")
+        rng = np.random.default_rng((self.seed, run_index))
+        lo, hi = self.burst_range
+        frac_lo, frac_hi = self.read_fraction_range
+        span = frac_hi - frac_lo
+        fid_parts: list[np.ndarray] = []
+        rb_parts: list[np.ndarray] = []
+        wb_parts: list[np.ndarray] = []
+        for spec in self._files_for_run(run_index):
+            burst = int(rng.integers(lo, hi + 1))
+            doubles = rng.random(2 * burst)
+            rb = (spec.size_bytes * (frac_lo + span * doubles[0::2])).astype(
+                np.int64
+            )
+            np.maximum(rb, 1, out=rb)
+            write_bytes = max(1, int(spec.size_bytes * self.write_fraction))
+            wb = np.where(
+                doubles[1::2] < self.write_probability, write_bytes, 0
+            )
+            fid_parts.append(np.full(burst, spec.fid, dtype=np.int64))
+            rb_parts.append(rb)
+            wb_parts.append(wb)
+        return (
+            np.concatenate(fid_parts),
+            np.concatenate(rb_parts),
+            np.concatenate(wb_parts),
+        )
+
     def runs(self, count: int, *, start: int = 0):
         """Yield ``count`` runs starting at index ``start``."""
         if count < 0:

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import ConfigurationError, DeviceOfflineError
 from repro.observability import get_observability
 from repro.replaydb.db import ReplayDB
@@ -54,6 +56,7 @@ class WorkloadRunner:
         think_time_s: float = 0.01,
         tolerate_offline: bool = False,
         offline_penalty_s: float = 0.05,
+        batched: bool = True,
     ) -> None:
         if think_time_s < 0:
             raise ConfigurationError(
@@ -73,6 +76,10 @@ class WorkloadRunner:
         #: instead of raising -- the behaviour chaos runs need
         self.tolerate_offline = bool(tolerate_offline)
         self.offline_penalty_s = float(offline_penalty_s)
+        #: serve whole runs through the batched fast path
+        #: (:meth:`StorageCluster.access_batch`); equivalent bit-for-bit
+        #: to the scalar reference loop
+        self.batched = bool(batched)
         self.next_run_index = 0
         self.total_accesses = 0
         self.failed_accesses = 0
@@ -135,18 +142,131 @@ class WorkloadRunner:
             self._m_accesses.inc()
             yield record
 
-    def run_once(self) -> RunResult:
-        """Execute the next run of the workload; returns its summary."""
+    def run_once(self, *, advance_hook=None) -> RunResult:
+        """Execute the next run of the workload; returns its summary.
+
+        ``advance_hook``, when given, is called with the simulated time
+        after each completed access -- the seam fault injectors use to
+        fire scheduled events mid-run.
+        """
+        if self.batched:
+            return self._run_once_batched(advance_hook)
         index = self.next_run_index
         result = RunResult(run_index=index)
-        result.records.extend(self.run_stream())
+        for record in self.run_stream():
+            result.records.append(record)
+            if advance_hook is not None:
+                advance_hook(self.clock.now)
         return result
 
+    def _run_once_batched(self, advance_hook) -> RunResult:
+        """One run through the vectorized access pipeline.
+
+        Materializes the run's ops as arrays, drives
+        :meth:`StorageCluster.access_batch`, ships the whole run's
+        telemetry to the ReplayDB in one ``insert_accesses`` batch, and
+        advances the shared clock to the batch's end time.  Produces
+        bit-for-bit the records, clock position, device state, and DB
+        rows of the scalar loop.
+        """
+        index = self.next_run_index
+        self.next_run_index += 1
+        self._m_runs.inc()
+        workload = self.workload
+        if hasattr(workload, "run_arrays"):
+            fids, rb, wb = workload.run_arrays(index)
+        else:
+            ops = workload.run(index)
+            fids = [op.fid for op in ops]
+            rb = [op.rb for op in ops]
+            wb = [op.wb for op in ops]
+        batch = self.cluster.access_batch(
+            fids,
+            self.clock.now,
+            rb,
+            wb,
+            think_time_s=self.think_time_s,
+            tolerate_offline=self.tolerate_offline,
+            offline_penalty_s=self.offline_penalty_s,
+            advance_hook=advance_hook,
+        )
+        records = batch.records
+        if records:
+            self.db.insert_accesses(records)
+            self.total_accesses += len(records)
+            self._m_accesses.inc(len(records))
+        if batch.failed:
+            self.failed_accesses += batch.failed
+            self._m_failed.inc(batch.failed)
+        self.clock.advance_to(batch.end_time)
+        if batch.pending_error is not None:
+            raise batch.pending_error
+        return RunResult(run_index=index, records=records)
+
     def run_many(self, count: int) -> list[RunResult]:
-        """Execute ``count`` consecutive runs."""
+        """Execute ``count`` consecutive runs.
+
+        On the batched path, consecutive runs are fused into one
+        :meth:`StorageCluster.access_batch` call when nothing can happen
+        between them -- no fault hook and every device online -- which
+        amortizes the per-run setup (pre-draws, RNG snapshots, one DB
+        insert) across the whole span.  Bit-for-bit identical to looping
+        :meth:`run_once`: the op sequence, clock advances, RNG draw
+        order, DB rows, and per-run record boundaries are all unchanged.
+        """
         if count < 0:
             raise ConfigurationError(f"count must be >= 0, got {count}")
-        return [self.run_once() for _ in range(count)]
+        if (
+            not self.batched
+            or count <= 1
+            or not hasattr(self.workload, "run_arrays")
+            or any(
+                not self.cluster.device(name).online
+                for name in self.cluster.device_names
+            )
+        ):
+            return [self.run_once() for _ in range(count)]
+        start = self.next_run_index
+        self.next_run_index += count
+        self._m_runs.inc(count)
+        counts: list[int] = []
+        fid_parts, rb_parts, wb_parts = [], [], []
+        for index in range(start, start + count):
+            fids, rb, wb = self.workload.run_arrays(index)
+            counts.append(len(fids))
+            fid_parts.append(fids)
+            rb_parts.append(rb)
+            wb_parts.append(wb)
+        batch = self.cluster.access_batch(
+            np.concatenate(fid_parts),
+            self.clock.now,
+            np.concatenate(rb_parts),
+            np.concatenate(wb_parts),
+            think_time_s=self.think_time_s,
+            tolerate_offline=self.tolerate_offline,
+            offline_penalty_s=self.offline_penalty_s,
+        )
+        # Every device was online and nothing could flip one mid-batch
+        # (no advance hook), so every op was served.
+        records = batch.records
+        if records:
+            self.db.insert_accesses(records)
+            self.total_accesses += len(records)
+            self._m_accesses.inc(len(records))
+        self.clock.advance_to(batch.end_time)
+        if batch.pending_error is not None:  # pragma: no cover - see above
+            raise batch.pending_error
+        results = []
+        pos = 0
+        for offset, run_count in enumerate(counts):
+            results.append(
+                RunResult(
+                    run_index=start + offset,
+                    records=records[pos:pos + run_count],
+                )
+            )
+            pos += run_count
+        return results
 
     def warm_up(self, min_accesses: int) -> int:
         """Run the workload until the ReplayDB holds ``min_accesses`` rows.

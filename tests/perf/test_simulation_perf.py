@@ -1,0 +1,54 @@
+"""Simulation fast-path micro-benchmarks (``pytest -m perf``).
+
+Timing-sensitive by nature, so this tier is excluded from tier-1 (see
+``pyproject.toml``).  CI runs it on one Python version and uploads the
+``BENCH_simulation.json`` it writes, giving successive PRs a perf
+trajectory for the batched access pipeline to compare against.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.simulation_bench import run_simulation_benchmark
+
+OUT_PATH = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "benchmarks" / "out" / "BENCH_simulation.json"
+)
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def simulation_result():
+    return run_simulation_benchmark(runner_runs=200, repeats=5)
+
+
+class TestSimulationPipelineLatency:
+    def test_batched_bit_identical_on_benchmark_inputs(
+        self, simulation_result
+    ):
+        # Not approximately equal -- the batched path promises the exact
+        # records, layouts, device stats, and clock of the scalar loop.
+        assert simulation_result.all_identical
+
+    def test_every_driver_faster_batched(self, simulation_result):
+        for cell in simulation_result.cells:
+            assert cell.speedup > 1.5, (
+                f"driver {cell.name}: only {cell.speedup:.1f}x"
+            )
+
+    def test_aggregate_speedup_at_least_5x(self, simulation_result):
+        # The acceptance bar: one sweep across the workload-runner and
+        # Fig. 5a/5b environment loops is >= 5x faster batched.
+        assert simulation_result.overall_speedup >= 5.0
+
+    def test_writes_bench_record(self, simulation_result):
+        path = simulation_result.write_json(OUT_PATH)
+        data = json.loads(path.read_text())
+        assert data["benchmark"] == "simulation-pipeline"
+        assert data["overall_speedup"] == simulation_result.overall_speedup
+        assert data["all_identical"] is True
+        assert len(data["cells"]) == len(simulation_result.cells)
