@@ -1,0 +1,38 @@
+"""Online-learning benchmark: flat decision-epoch cost as the DB grows.
+
+Gate targets: the online engine's decision epoch (``train_incremental``
++ ``propose_layout``) stays within 1.5x flat from the smallest to the
+largest history checkpoint while the from-scratch epoch grows with the
+table; layout quality on the ground-truth synthetic signal matches the
+from-scratch path; and the first incremental epoch is bit-for-bit the
+from-scratch oracle at a pinned seed.  Writes ``BENCH_online.json``
+next to the other perf-trajectory records.
+"""
+
+import json
+import pathlib
+
+from repro.experiments.online_bench import run_online_benchmark
+
+JSON_PATH = pathlib.Path(__file__).parent / "out" / "BENCH_online.json"
+
+
+def test_online_epoch_flat(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_online_benchmark, rounds=1, iterations=1
+    )
+    save_result("online_epoch", result.to_text())
+    data = json.loads(result.write_json(JSON_PATH).read_text())
+    assert data["benchmark"] == "online-epoch"
+
+    # The tentpole claim: online decision-epoch latency is flat in the
+    # history size while from-scratch retraining grows with it.
+    assert result.online_growth <= 1.5
+    assert result.scratch_growth > 2.0
+    # Flat cost must not trade away layout quality: both paths recover
+    # the planted location signal to within noise.
+    for cell in result.cells:
+        assert cell.online_quality >= cell.scratch_quality - 0.15
+        assert cell.online_quality >= 0.7
+    # And the first incremental epoch IS the from-scratch epoch.
+    assert result.oracle.equivalent

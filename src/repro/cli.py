@@ -140,6 +140,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig6 = sub.add_parser("fig6", help="competing-workload adaptation")
     _add_common(fig6, default_seed=0)
+    fig6.add_argument(
+        "--online", action="store_true",
+        help="adapt with the online continual-learning engine "
+             "(incremental fits + prioritized replay + drift detection) "
+             "instead of from-scratch retraining",
+    )
 
     sub.add_parser("testbed", help="describe the simulated Bluesky testbed")
 
@@ -285,6 +291,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(run, default_seed=0)
     _add_observability(run)
     run.add_argument(
+        "--online", action="store_true",
+        help="train the engine online (incremental fits over new rows + "
+             "prioritized replay) instead of from scratch every decision",
+    )
+    run.add_argument(
         "--profile", action="store_true",
         help="wrap the measured phase in cProfile and print a top-N table",
     )
@@ -399,7 +410,9 @@ def _run_table4(args) -> str:
 def _run_fig6(args) -> str:
     from repro.experiments.fig6_adaptation import run_fig6
 
-    return run_fig6(scale=_SCALES[args.scale], seed=args.seed).to_text()
+    return run_fig6(
+        scale=_SCALES[args.scale], seed=args.seed, online=args.online
+    ).to_text()
 
 
 def _run_robustness(args) -> str:
@@ -501,6 +514,7 @@ def _run_run(args) -> str:
         schedule_specs=tuple(args.schedule),
         migration_failure_rate=args.migration_failure_rate,
         trace_sample_rate=args.sample_rate,
+        online_learning=args.online,
     ).to_text(profile_top=args.profile_top)
 
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigurationError
 from repro.faults.schedule import parse_fault_event
 from repro.features.pipeline import DEFAULT_LIVE_FEATURES
-from repro.nn.model_zoo import ARCHITECTURES
+from repro.nn.model_zoo import ARCHITECTURES, is_recurrent
 from repro.observability.metrics import DEFAULT_BUCKETS
 
 
@@ -105,6 +105,40 @@ class GeomancyConfig:
     guardrail_cooldown_runs: int = 3
     #: policy used while demoted: "static" (hold layout) or "lru"
     fallback_policy: str = "static"
+    #: -- online continual learning (DRLEngine.train_incremental) ---------
+    #: train incrementally on rows appended since the last decision point
+    #: (plus prioritized replay) instead of from scratch on the window;
+    #: keeps decision-epoch cost flat as ReplayDB grows
+    online_learning: bool = False
+    #: SGD epochs per incremental update (vs ``epochs`` from scratch)
+    online_epochs: int = 8
+    #: most recent new rows consumed per incremental update (burst bound)
+    online_max_new_rows: int = 2_048
+    #: prioritized replay buffer capacity (row ids tracked)
+    replay_capacity: int = 20_000
+    #: replayed history rows mixed into each incremental update
+    replay_sample_rows: int = 256
+    #: prioritization sharpening exponent (0 = uniform)
+    replay_alpha: float = 0.6
+    #: importance-sampling correction strength (0 = none, 1 = full)
+    replay_beta: float = 0.4
+    #: rows after which a buffered row's recency weight halves
+    replay_recency_half_life: float = 10_000.0
+    #: frozen-weight snapshot cadence in incremental updates (0 disables);
+    #: the guardrail rolls back to the newest snapshot on loss explosion
+    target_snapshot_every: int = 10
+    #: rotated weight snapshots kept
+    target_snapshot_keep: int = 3
+    #: directory for weight snapshots (None = private temp dir)
+    weight_snapshot_dir: str | None = None
+    #: Page-Hinkley drift tolerance on the per-cycle mean relative error
+    drift_delta: float = 0.05
+    #: Page-Hinkley detection threshold on the cumulative statistic
+    drift_threshold: float = 1.0
+    #: incremental cycles before the drift detector may fire
+    drift_min_cycles: int = 8
+    #: online_epochs multiplier for the re-adaptation burst after drift
+    drift_burst_multiplier: int = 4
     #: -- observability (repro.observability) -----------------------------
     #: master switch for the metrics/tracing/event instrumentation; off by
     #: default so ordinary experiment runs pay only no-op handles
@@ -234,6 +268,71 @@ class GeomancyConfig:
             raise ConfigurationError(
                 f"fallback_policy must be 'static' or 'lru', "
                 f"got {self.fallback_policy!r}"
+            )
+        if self.online_learning and is_recurrent(self.model_number):
+            raise ConfigurationError(
+                "online_learning supports the feed-forward Table-I models "
+                "only; recurrent windows need contiguous chronology that "
+                f"replay mixing breaks (model {self.model_number} is "
+                "recurrent)"
+            )
+        if self.online_epochs < 1:
+            raise ConfigurationError(
+                f"online_epochs must be >= 1, got {self.online_epochs}"
+            )
+        if self.online_max_new_rows < 1:
+            raise ConfigurationError(
+                f"online_max_new_rows must be >= 1, "
+                f"got {self.online_max_new_rows}"
+            )
+        if self.replay_capacity < 1:
+            raise ConfigurationError(
+                f"replay_capacity must be >= 1, got {self.replay_capacity}"
+            )
+        if self.replay_sample_rows < 0:
+            raise ConfigurationError(
+                f"replay_sample_rows must be >= 0, "
+                f"got {self.replay_sample_rows}"
+            )
+        if self.replay_alpha < 0:
+            raise ConfigurationError(
+                f"replay_alpha must be >= 0, got {self.replay_alpha}"
+            )
+        if not 0.0 <= self.replay_beta <= 1.0:
+            raise ConfigurationError(
+                f"replay_beta must be in [0, 1], got {self.replay_beta}"
+            )
+        if self.replay_recency_half_life <= 0:
+            raise ConfigurationError(
+                f"replay_recency_half_life must be positive, "
+                f"got {self.replay_recency_half_life}"
+            )
+        if self.target_snapshot_every < 0:
+            raise ConfigurationError(
+                f"target_snapshot_every must be >= 0, "
+                f"got {self.target_snapshot_every}"
+            )
+        if self.target_snapshot_keep < 1:
+            raise ConfigurationError(
+                f"target_snapshot_keep must be >= 1, "
+                f"got {self.target_snapshot_keep}"
+            )
+        if self.drift_delta < 0:
+            raise ConfigurationError(
+                f"drift_delta must be >= 0, got {self.drift_delta}"
+            )
+        if self.drift_threshold <= 0:
+            raise ConfigurationError(
+                f"drift_threshold must be positive, got {self.drift_threshold}"
+            )
+        if self.drift_min_cycles < 1:
+            raise ConfigurationError(
+                f"drift_min_cycles must be >= 1, got {self.drift_min_cycles}"
+            )
+        if self.drift_burst_multiplier < 1:
+            raise ConfigurationError(
+                f"drift_burst_multiplier must be >= 1, "
+                f"got {self.drift_burst_multiplier}"
             )
         if not 0.0 < self.trace_sample_rate <= 1.0:
             raise ConfigurationError(

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.adjustment import PredictionAdjuster
 from repro.core.config import GeomancyConfig
+from repro.core.drift import PageHinkley
 from repro.errors import ModelError
 from repro.features.pipeline import FeaturePipeline, make_windows
 from repro.nn.metrics import is_diverged, mean_absolute_relative_error
@@ -27,8 +28,10 @@ from repro.nn.model_zoo import build_model, is_recurrent
 from repro.nn.network import train_val_test_split
 from repro.nn.optimizers import get_optimizer
 from repro.observability import Observability, get_observability
+from repro.recovery.weight_snapshots import WeightSnapshotStore
 from repro.replaydb.db import ReplayDB
 from repro.replaydb.records import AccessRecord
+from repro.replaydb.replay_buffer import PrioritizedReplay
 
 
 def _spearman(a: list[float], b: list[float]) -> float:
@@ -83,6 +86,15 @@ class TrainingReport:
     #: calibrated adjustment parameters (fractions)
     adjustment_mae: float
     adjustment_sign: int
+    #: "scratch" (full-window retrain) or "incremental" (online update);
+    #: defaults keep reports from older checkpoints loadable
+    mode: str = "scratch"
+    #: telemetry rows newly consumed this cycle (incremental mode)
+    new_rows: int = 0
+    #: prioritized-replay rows mixed into the update batch
+    replayed_rows: int = 0
+    #: whether the drift detector fired this cycle
+    drift_detected: bool = False
 
     @property
     def accuracy_percent(self) -> float:
@@ -115,6 +127,12 @@ class DRLEngine:
             self.config.features,
             smoothing_window=self.config.smoothing_window,
             target=self.config.target,
+            # Online mode cannot afford refit-on-window normalization, and
+            # frozen first-window bounds go stale under drift; running
+            # mean/var statistics track the stream at O(batch) cost.
+            normalization=(
+                "running" if self.config.online_learning else "minmax"
+            ),
         )
         #: for throughput targets higher predictions are better; for
         #: latency targets (paper V-C future work) lower is better
@@ -127,7 +145,46 @@ class DRLEngine:
         #: the most recent propose_layout call -- the "promise" the safe-mode
         #: guardrail compares realized throughput against
         self.last_predicted_mean: float | None = None
+        # -- online continual learning state --------------------------------
+        #: ReplayDB high-water-mark cursor: rows at or below it have been
+        #: consumed by training; train_incremental fits on what is above
+        self._hwm = 0
+        #: incremental updates applied since the from-scratch base epoch
+        self._updates = 0
+        #: running mean of physical-unit targets (the constant baseline
+        #: the skill gate compares against, maintained prequentially)
+        self._target_mean = 0.0
+        self._target_count = 0
+        self.replay: PrioritizedReplay | None = None
+        self.snapshots: WeightSnapshotStore | None = None
+        self.drift_detector: PageHinkley | None = None
+        if self.config.online_learning:
+            self.replay = PrioritizedReplay(
+                self.config.replay_capacity,
+                alpha=self.config.replay_alpha,
+                beta=self.config.replay_beta,
+                recency_half_life=self.config.replay_recency_half_life,
+                seed=self.config.seed,
+            )
+            if self.config.target_snapshot_every > 0:
+                self.snapshots = WeightSnapshotStore(
+                    self.config.weight_snapshot_dir,
+                    keep=self.config.target_snapshot_keep,
+                )
+            self.drift_detector = PageHinkley(
+                delta=self.config.drift_delta,
+                threshold=self.config.drift_threshold,
+                min_samples=self.config.drift_min_cycles,
+            )
         metrics = self.obs.metrics
+        self._m_train_rows = metrics.counter(
+            "repro_engine_train_rows_total",
+            "telemetry rows consumed by training cycles",
+        )
+        self._h_engine_train = metrics.histogram(
+            "repro_engine_train_seconds",
+            "wall seconds per decision-epoch training step",
+        )
         self._m_trainings = metrics.counter(
             "repro_nn_trainings_total", "engine (re)training cycles"
         )
@@ -233,7 +290,9 @@ class DRLEngine:
             )
         self.last_report = report
         self._m_trainings.inc()
+        self._m_train_rows.inc(len(records))
         self._h_train.observe(elapsed)
+        self._h_engine_train.observe(elapsed)
         self._g_test_mare.set(report.test_mare)
         self._g_skillful.set(1.0 if report.skillful else 0.0)
         return report
@@ -242,6 +301,207 @@ class DRLEngine:
         """Retrain on the most recent ``training_rows`` ReplayDB accesses."""
         records = db.recent_accesses(self.config.training_rows)
         return self.train_on_records(records)
+
+    # -- online continual learning ------------------------------------------
+    def _update_target_mean(self, targets: np.ndarray) -> None:
+        """Fold a batch of physical-unit targets into the running mean."""
+        for value in targets:
+            self._target_count += 1
+            self._target_mean += (
+                float(value) - self._target_mean
+            ) / self._target_count
+
+    def _bootstrap_online_state(self, db: ReplayDB) -> None:
+        """Initialize the cursor/replay/baseline after the base epoch."""
+        ids, records = db.accesses_since(
+            0, limit=self.config.training_rows
+        )
+        if ids:
+            self._hwm = max(self._hwm, ids[-1], db.max_rowid())
+            self.replay.add(ids)
+            self._update_target_mean(self.pipeline.target_vector(records))
+        self._updates = 0
+        if self.snapshots is not None and self.model.built:
+            self.snapshots.save(self.model, 0)
+
+    def rollback_weights(self) -> int | None:
+        """Restore the newest frozen-weight snapshot into the live model.
+
+        The guardrail's loss-explosion hook: returns the restored
+        snapshot's step, or ``None`` when online snapshots are disabled
+        or none exists yet.
+        """
+        if self.snapshots is None or not self.model.built:
+            return None
+        return self.snapshots.restore_latest(self.model)
+
+    def train_incremental(self, db: ReplayDB) -> TrainingReport:
+        """Online update: fit on rows appended since the last decision point.
+
+        The flat-cost decision epoch.  The first call delegates to the
+        from-scratch oracle :meth:`train` (bit-for-bit: the pinned-seed
+        equivalence test holds the two paths together), then seeds the
+        high-water-mark cursor and the prioritized replay buffer.  Every
+        later call:
+
+        1. fetches the (burst-bounded) rows above the cursor -- O(new),
+           not O(history);
+        2. scores them *prequentially* (predict-then-train), which yields
+           an honest held-out error for the report and feeds the
+           Page-Hinkley drift detector with the cycle's mean relative
+           residual;
+        3. merges the rows into the running normalization statistics;
+        4. mixes them with a prioritized sample of buffered history
+           (TD-style error x recency weighting, importance-weight
+           corrected in the loss) and runs a few warm-start SGD epochs --
+           a drift detection multiplies the epoch budget for the cycle's
+           re-adaptation burst;
+        5. re-scores the batch to refresh replay priorities, and
+           periodically snapshots the weights for the guardrail's
+           loss-explosion rollback.
+
+        Every step is O(new + replay_sample + capacity) regardless of
+        ReplayDB size, which is what ``benchmarks/bench_online.py`` gates.
+        """
+        if not self.config.online_learning:
+            raise ModelError(
+                "train_incremental requires config.online_learning=True; "
+                "use train() for the from-scratch path"
+            )
+        if not self.trained:
+            with self.obs.span("train_incremental", bootstrap=True):
+                report = self.train(db)
+                self._bootstrap_online_state(db)
+            return report
+        with self.obs.span("train_incremental"):
+            ids, fresh = db.accesses_since(
+                self._hwm, limit=self.config.online_max_new_rows
+            )
+            if not ids:
+                # Nothing new arrived: the model is unchanged, the last
+                # report still describes it.
+                return self.last_report
+            self._hwm = ids[-1]
+            start = time.perf_counter()
+            # -- prequential evaluation (predict before training) ----------
+            fresh_true = self.pipeline.target_vector(fresh)
+            fresh_pred = self.pipeline.inverse_transform_target(
+                self.model.predict(
+                    self.pipeline.transform_features(fresh)
+                ).ravel()
+            )
+            mare, mare_std = mean_absolute_relative_error(
+                fresh_pred, fresh_true
+            )
+            constant_mare, _ = mean_absolute_relative_error(
+                np.full_like(fresh_true, self._target_mean), fresh_true
+            )
+            drift = False
+            if np.isfinite(mare):
+                drift = self.drift_detector.update(mare / 100.0)
+            if drift:
+                statistic = self.drift_detector.statistic
+                self.drift_detector.reset()
+                self.obs.emit(
+                    "drift-detected",
+                    t=fresh[-1].close_time,
+                    step=self._updates,
+                    mean_relative_error=mare / 100.0,
+                    statistic=statistic,
+                )
+            # -- incremental normalization + replay mixing -----------------
+            self._update_target_mean(fresh_true)
+            self.pipeline.partial_fit(fresh)
+            replay_ids = np.empty(0, dtype=np.int64)
+            replay_weights = np.empty(0, dtype=np.float64)
+            if self.config.replay_sample_rows > 0 and len(self.replay):
+                replay_ids, replay_weights = self.replay.sample(
+                    self.config.replay_sample_rows
+                )
+                order = np.argsort(replay_ids)
+                replay_ids = replay_ids[order]
+                replay_weights = replay_weights[order]
+            self.replay.add(ids)
+            replayed = db.accesses_by_id(replay_ids)
+            if len(replayed) != len(replay_ids):
+                raise ModelError(
+                    f"replay sample fetched {len(replayed)} rows for "
+                    f"{len(replay_ids)} buffered ids; ReplayDB rows must "
+                    "never disappear under the buffer"
+                )
+            records = replayed + fresh
+            batch_ids = np.concatenate(
+                (replay_ids, np.asarray(ids, dtype=np.int64))
+            )
+            weights = np.concatenate(
+                (replay_weights, np.ones(len(fresh), dtype=np.float64))
+            )
+            x = self.pipeline.transform_features(records)
+            y = self.pipeline.transform_target(records)
+            epochs = self.config.online_epochs * (
+                self.config.drift_burst_multiplier if drift else 1
+            )
+            optimizer = get_optimizer(
+                self.config.optimizer, learning_rate=self.config.learning_rate
+            )
+            with self.obs.span(
+                "model_fit", epochs=epochs, rows=len(records)
+            ):
+                history = self.model.fit(
+                    x, y,
+                    epochs=epochs,
+                    batch_size=self.config.batch_size,
+                    optimizer=optimizer,
+                    sample_weight=weights,
+                )
+            # -- refresh priorities and calibration ------------------------
+            post_pred = self.pipeline.inverse_transform_target(
+                self.model.predict(x).ravel()
+            )
+            post_true = self.pipeline.inverse_transform_target(y)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                scale = np.maximum(np.abs(post_true), 1e-12)
+                residuals = np.abs(post_pred - post_true) / scale
+            self.replay.update_priorities(batch_ids, residuals)
+            fresh_post_pred = post_pred[len(replayed):]
+            fresh_post_true = post_true[len(replayed):]
+            self.adjuster.fit(fresh_post_pred, fresh_post_true)
+            diverged = bool(
+                history.diverged
+                or is_diverged(fresh_post_pred, fresh_post_true)
+            )
+            elapsed = time.perf_counter() - start
+            self._updates += 1
+            if (
+                self.snapshots is not None
+                and not diverged
+                and self.config.target_snapshot_every > 0
+                and self._updates % self.config.target_snapshot_every == 0
+            ):
+                self.snapshots.save(self.model, self._updates)
+            report = TrainingReport(
+                samples=len(records),
+                epochs=history.epochs_run,
+                train_seconds=elapsed,
+                test_mare=mare,
+                test_mare_std=mare_std,
+                constant_mare=constant_mare,
+                diverged=diverged,
+                adjustment_mae=self.adjuster.mae,
+                adjustment_sign=self.adjuster.sign,
+                mode="incremental",
+                new_rows=len(fresh),
+                replayed_rows=len(replayed),
+                drift_detected=drift,
+            )
+        self.last_report = report
+        self._m_trainings.inc()
+        self._m_train_rows.inc(len(records))
+        self._h_train.observe(elapsed)
+        self._h_engine_train.observe(elapsed)
+        self._g_test_mare.set(report.test_mare)
+        self._g_skillful.set(1.0 if report.skillful else 0.0)
+        return report
 
     # -- checkpointing -----------------------------------------------------
     def state_dict(self) -> dict:
@@ -263,6 +523,20 @@ class DRLEngine:
             "last_predicted_mean": self.last_predicted_mean,
             "model_built": self.model.built,
             "model_rng": self.model._rng.bit_generator.state,
+            "online": {
+                "hwm": self._hwm,
+                "updates": self._updates,
+                "target_mean": self._target_mean,
+                "target_count": self._target_count,
+                "replay": (
+                    self.replay.state_dict()
+                    if self.replay is not None else None
+                ),
+                "drift": (
+                    self.drift_detector.state_dict()
+                    if self.drift_detector is not None else None
+                ),
+            },
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -283,6 +557,18 @@ class DRLEngine:
         if state["model_built"] and not self.model.built:
             self.model.build(self.config.z)
         self.model._rng.bit_generator.state = state["model_rng"]
+        # Checkpoints from before the online-learning mode carry no
+        # "online" section; the zero-state defaults already apply.
+        online = state.get("online")
+        if online is not None:
+            self._hwm = int(online["hwm"])
+            self._updates = int(online["updates"])
+            self._target_mean = float(online["target_mean"])
+            self._target_count = int(online["target_count"])
+            if online["replay"] is not None and self.replay is not None:
+                self.replay.load_state_dict(online["replay"])
+            if online["drift"] is not None and self.drift_detector is not None:
+                self.drift_detector.load_state_dict(online["drift"])
 
     # -- prediction --------------------------------------------------------
     def predict_location_throughputs(

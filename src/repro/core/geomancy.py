@@ -337,7 +337,11 @@ class Geomancy:
         if self.db.access_count() < self.MIN_TRAINING_ACCESSES:
             self._drive_retries(outcome, t)
             return outcome
-        outcome.training = self.engine.train(self.db)
+        outcome.training = (
+            self.engine.train_incremental(self.db)
+            if self.config.online_learning
+            else self.engine.train(self.db)
+        )
         outcome.trained = True
         if (
             (self.config.require_skill and not outcome.training.skillful)

@@ -65,6 +65,29 @@ class Fig6Result:
         head = after[: max(1, int(len(after) * head_fraction))]
         return float(head.mean() / before.mean())
 
+    def recovery_accesses(
+        self, *, threshold: float = 0.9, window: int = 200
+    ) -> int | None:
+        """Accesses after the disturbance until throughput recovers.
+
+        Recovery is the first post-disturbance access whose trailing
+        ``window``-access mean reaches ``threshold`` of the
+        pre-disturbance mean; ``None`` if the series never gets there.
+        This is the "how fast did it adapt" companion to the "how far
+        did it get back" :meth:`recovery_ratio`.
+        """
+        before = self.tuned_before()
+        after = self.tuned_after()
+        if before.size == 0 or after.size == 0:
+            raise ExperimentError("need accesses on both sides of the disturbance")
+        target = threshold * before.mean()
+        window = min(window, after.size)
+        rolling = np.convolve(after, np.ones(window) / window, mode="valid")
+        hits = np.nonzero(rolling >= target)[0]
+        if hits.size == 0:
+            return None
+        return int(hits[0]) + window
+
     def to_text(self, *, bucket: int = 500) -> str:
         _, tuned = bucket_series(self.tuned_gbps, bucket)
         _, competing = bucket_series(self.competing_gbps, bucket)
@@ -76,6 +99,11 @@ class Fig6Result:
             f"dip ratio {self.dip_ratio():.2f}, "
             f"recovery ratio {self.recovery_ratio():.2f}",
         ]
+        recovery = self.recovery_accesses()
+        lines.append(
+            "recovered to 90% of pre-disturbance throughput after "
+            + (f"{recovery} accesses" if recovery is not None else "(never)")
+        )
         return "\n".join(lines)
 
 
@@ -85,6 +113,7 @@ def run_fig6(
     seed: int = 0,
     runs_before: int | None = None,
     runs_after: int | None = None,
+    online: bool = False,
 ) -> Fig6Result:
     """Regenerate Fig. 6.
 
@@ -93,6 +122,10 @@ def run_fig6(
     the same cluster (shared clock, shared device contention) for
     ``runs_after`` interleaved runs; Geomancy keeps tuning only the
     original workload.
+
+    ``online=True`` drives every relayout through the continual-learning
+    engine (``train_incremental`` + prioritized replay + drift detection)
+    instead of from-scratch retraining.
     """
     if runs_before is None:
         runs_before = max(scale.runs // 2, scale.update_every)
@@ -109,7 +142,8 @@ def run_fig6(
         cluster.device(name).fsid: name for name in cluster.device_names
     }
     policy = GeomancyDynamicPolicy(
-        device_by_fsid, make_experiment_config(scale, seed=seed)
+        device_by_fsid,
+        make_experiment_config(scale, seed=seed, online_learning=online),
     )
     runner.ensure_files_placed(
         policy.initial_layout(files, cluster.device_names)

@@ -1,0 +1,309 @@
+"""Online-learning benchmark: decision-epoch cost vs. ReplayDB growth.
+
+The continual-learning engine exists so the per-decision training cost
+stops tracking the size of the telemetry history.  This module measures
+exactly that: one synthetic telemetry population grows through a series
+of checkpoints, and at each checkpoint we time a full decision epoch
+(train + ``propose_layout``) twice --
+
+* **online**: ``train_incremental`` over the rows that arrived since the
+  last decision, plus a prioritized-replay sample (bounded work);
+* **from-scratch**: a fresh engine retrained on the entire history
+  (work that grows with the table).
+
+Because the synthetic population carries a known location signal
+(location ``k`` sustains about ``k * 50 MB/s``), each proposal also gets
+a ground-truth quality score, so the benchmark verifies the flat-cost
+path does not trade away layout quality.  A pinned-seed oracle check
+confirms the first incremental epoch is bit-for-bit the from-scratch
+epoch.  The result serializes to ``BENCH_online.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import GeomancyConfig
+from repro.core.engine import DRLEngine
+from repro.errors import ExperimentError
+from repro.experiments.decision_bench import synthetic_decision_records
+from repro.experiments.reporting import ascii_table
+from repro.nn.serialization import _weight_arrays
+from repro.replaydb.db import ReplayDB
+
+
+@dataclass
+class OnlineCheckpointCell:
+    """Timed decision epoch, both paths, at one history size."""
+
+    db_rows: int
+    online_ms: float
+    scratch_ms: float
+    online_quality: float
+    scratch_quality: float
+    online_new_rows: int
+    online_replayed_rows: int
+
+    @property
+    def speedup(self) -> float:
+        if self.online_ms <= 0:
+            raise ExperimentError("online path measured non-positive time")
+        return self.scratch_ms / self.online_ms
+
+
+@dataclass
+class OracleCheck:
+    """First incremental epoch vs. from-scratch epoch, pinned seed."""
+
+    mare_equal: bool
+    weights_equal: bool
+    layouts_equal: bool
+
+    @property
+    def equivalent(self) -> bool:
+        return self.mare_equal and self.weights_equal and self.layouts_equal
+
+
+@dataclass
+class OnlineBenchResult:
+    """Everything the online-learning benchmark measures."""
+
+    cells: list[OnlineCheckpointCell]
+    oracle: OracleCheck
+    epochs_per_checkpoint: int = 3
+    burst_rows: int = 512
+
+    @property
+    def online_growth(self) -> float:
+        """Largest-history online epoch time over smallest-history time."""
+        if not self.cells:
+            raise ExperimentError("no checkpoints were measured")
+        first = self.cells[0].online_ms
+        if first <= 0:
+            raise ExperimentError("online path measured non-positive time")
+        return self.cells[-1].online_ms / first
+
+    @property
+    def scratch_growth(self) -> float:
+        if not self.cells:
+            raise ExperimentError("no checkpoints were measured")
+        first = self.cells[0].scratch_ms
+        if first <= 0:
+            raise ExperimentError("scratch path measured non-positive time")
+        return self.cells[-1].scratch_ms / first
+
+    def to_json(self) -> dict:
+        return {
+            "benchmark": "online-epoch",
+            "online_growth": self.online_growth,
+            "scratch_growth": self.scratch_growth,
+            "oracle_equivalent": self.oracle.equivalent,
+            "epochs_per_checkpoint": self.epochs_per_checkpoint,
+            "burst_rows": self.burst_rows,
+            "oracle": asdict(self.oracle),
+            "cells": [
+                {**asdict(cell), "speedup": cell.speedup}
+                for cell in self.cells
+            ],
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json(), indent=2) + "\n")
+        return path
+
+    def to_text(self) -> str:
+        rows = [
+            (
+                cell.db_rows,
+                f"{cell.online_ms:.1f}",
+                f"{cell.scratch_ms:.1f}",
+                f"{cell.speedup:.1f}x",
+                f"{cell.online_quality:.3f}",
+                f"{cell.scratch_quality:.3f}",
+            )
+            for cell in self.cells
+        ]
+        table = ascii_table(
+            ["db rows", "online ms", "scratch ms", "speedup",
+             "online quality", "scratch quality"],
+            rows,
+            title="Online decision-epoch benchmark "
+                  "(train + propose_layout per history size)",
+        )
+        table += (
+            f"\nonline epoch growth {self.online_growth:.2f}x, "
+            f"from-scratch growth {self.scratch_growth:.2f}x, "
+            f"oracle equivalent: "
+            + ("yes" if self.oracle.equivalent else "NO")
+        )
+        return table
+
+
+def _layout_quality(
+    layout: dict[int, str], *, locations: int
+) -> float:
+    """Ground-truth quality of a proposal on the synthetic population.
+
+    Location ``k`` sustains ``k * 50 MB/s``, so the expected throughput
+    of an assignment is proportional to its fsid; 1.0 means every file
+    landed on the fastest location.
+    """
+    if not layout:
+        raise ExperimentError("proposal assigned no files")
+    fsids = [int(device.removeprefix("dev")) for device in layout.values()]
+    return float(np.mean(fsids) / locations)
+
+
+def _online_config(*, seed: int, burst_rows: int) -> GeomancyConfig:
+    return GeomancyConfig(
+        model_number=1,
+        epochs=10,
+        training_rows=1000,
+        batch_size=32,
+        smoothing_window=5,
+        learning_rate=0.05,
+        seed=seed,
+        probe_samples=8,
+        online_learning=True,
+        online_epochs=8,
+        online_max_new_rows=burst_rows,
+        replay_sample_rows=256,
+    )
+
+
+def run_oracle_check(*, seed: int = 0, rows: int = 1000) -> OracleCheck:
+    """Pinned-seed equivalence of the first incremental epoch.
+
+    ``train_incremental`` on a fresh engine must delegate to ``train``:
+    identical report error, identical weights, identical proposal.
+    """
+    records = synthetic_decision_records(rows=rows, seed=seed)
+    config = _online_config(seed=seed + 1, burst_rows=512)
+    db = ReplayDB()
+    db.insert_accesses(records)
+    scratch, online = DRLEngine(config), DRLEngine(config)
+    report_a = scratch.train(db)
+    report_b = online.train_incremental(db)
+    fids = db.files()
+    device_by_fsid = {k: f"dev{k}" for k in range(1, 7)}
+    layout_a, _ = scratch.propose_layout(db, fids, device_by_fsid)
+    layout_b, _ = online.propose_layout(db, fids, device_by_fsid)
+    weights_a = _weight_arrays(scratch.model)
+    weights_b = _weight_arrays(online.model)
+    return OracleCheck(
+        mare_equal=report_a.test_mare == report_b.test_mare,
+        weights_equal=(
+            weights_a.keys() == weights_b.keys()
+            and all(
+                np.array_equal(weights_a[k], weights_b[k])
+                for k in weights_a
+            )
+        ),
+        layouts_equal=layout_a == layout_b,
+    )
+
+
+def run_online_benchmark(
+    *,
+    checkpoints: tuple[int, ...] = (1_000, 10_000, 30_000, 100_000),
+    files: int = 64,
+    locations: int = 6,
+    seed: int = 0,
+    epochs_per_checkpoint: int = 3,
+    burst_rows: int = 512,
+) -> OnlineBenchResult:
+    """Time online vs. from-scratch decision epochs as the DB grows.
+
+    One ReplayDB accumulates the synthetic population through
+    ``checkpoints``.  At each checkpoint the *same* online engine takes
+    ``epochs_per_checkpoint`` timed decision epochs (each preceded by a
+    ``burst_rows`` telemetry burst; the median is reported), then a
+    fresh engine is retrained from scratch on the full history and timed
+    once.  Both paths end in ``propose_layout``, so each cell is the
+    complete decision-point cost at that history size.
+    """
+    if len(checkpoints) < 2:
+        raise ExperimentError("need at least two checkpoints to compare")
+    if sorted(checkpoints) != list(checkpoints):
+        raise ExperimentError("checkpoints must be ascending")
+    total = checkpoints[-1] + epochs_per_checkpoint * burst_rows
+    records = synthetic_decision_records(
+        rows=total, files=files, locations=locations, seed=seed
+    )
+    device_by_fsid = {k: f"dev{k}" for k in range(1, locations + 1)}
+    config = _online_config(seed=seed + 1, burst_rows=burst_rows)
+
+    db = ReplayDB()
+    cursor = 0
+
+    def insert_up_to(target: int) -> None:
+        nonlocal cursor
+        if target > cursor:
+            db.insert_accesses(records[cursor:target])
+            cursor = target
+
+    # Bootstrap: the online engine's base epoch is from-scratch by
+    # design and is not what this benchmark gates.
+    insert_up_to(min(1_000, checkpoints[0]))
+    online = DRLEngine(config)
+    online.train_incremental(db)
+
+    cells = []
+    for checkpoint in checkpoints:
+        insert_up_to(checkpoint)
+        timings, layout = [], {}
+        last_report = None
+        for _ in range(epochs_per_checkpoint):
+            insert_up_to(cursor + burst_rows)
+            fids = db.files()
+            start = time.perf_counter()
+            last_report = online.train_incremental(db)
+            layout, _ = online.propose_layout(db, fids, device_by_fsid)
+            timings.append((time.perf_counter() - start) * 1000.0)
+        online_ms = float(np.median(timings))
+        online_quality = _layout_quality(layout, locations=locations)
+
+        db_rows = db.access_count()
+        scratch = DRLEngine(
+            GeomancyConfig(
+                model_number=1,
+                epochs=10,
+                training_rows=db_rows,
+                batch_size=32,
+                smoothing_window=5,
+                learning_rate=0.05,
+                seed=seed + 1,
+                probe_samples=8,
+            )
+        )
+        fids = db.files()
+        start = time.perf_counter()
+        scratch.train(db)
+        scratch_layout, _ = scratch.propose_layout(db, fids, device_by_fsid)
+        scratch_ms = (time.perf_counter() - start) * 1000.0
+        cells.append(
+            OnlineCheckpointCell(
+                db_rows=db_rows,
+                online_ms=online_ms,
+                scratch_ms=scratch_ms,
+                online_quality=online_quality,
+                scratch_quality=_layout_quality(
+                    scratch_layout, locations=locations
+                ),
+                online_new_rows=last_report.new_rows,
+                online_replayed_rows=last_report.replayed_rows,
+            )
+        )
+    return OnlineBenchResult(
+        cells=cells,
+        oracle=run_oracle_check(seed=seed),
+        epochs_per_checkpoint=epochs_per_checkpoint,
+        burst_rows=burst_rows,
+    )

@@ -163,7 +163,9 @@ def _compose_state(s: _Session) -> dict:
 
 
 def _build_guardrail(
-    config: GeomancyConfig, event_log: EventLog
+    config: GeomancyConfig,
+    event_log: EventLog,
+    weight_rollback=None,
 ) -> Guardrail | None:
     if not config.guardrail_enabled:
         return None
@@ -174,6 +176,7 @@ def _build_guardrail(
         cooldown_runs=config.guardrail_cooldown_runs,
         fallback=config.fallback_policy,
         event_log=event_log,
+        weight_rollback=weight_rollback,
     )
 
 
@@ -273,7 +276,9 @@ def run_recoverable(
         "phase_start": runner.clock.now,
     }
     injector = _build_injector(cluster, meta, seed)
-    rail = _build_guardrail(config, event_log)
+    rail = _build_guardrail(
+        config, event_log, weight_rollback=geo.engine.rollback_weights
+    )
     mgr = CheckpointManager(checkpoint_dir, keep=config.checkpoint_keep)
     session = _Session(
         config=config,
@@ -384,7 +389,9 @@ def resume_recoverable(
     injector = _build_injector(cluster, meta, seed)
     if injector is not None:
         injector.load_state_dict(state["injector"])
-    rail = _build_guardrail(config, event_log)
+    rail = _build_guardrail(
+        config, event_log, weight_rollback=geo.engine.rollback_weights
+    )
     if rail is not None:
         rail.load_state_dict(state["guardrail"])
     session = _Session(

@@ -26,7 +26,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.errors import FeatureError
-from repro.features.normalize import MinMaxNormalizer
+from repro.features.normalize import MinMaxNormalizer, RunningNormalizer
 from repro.features.smoothing import moving_average
 from repro.observability import get_observability
 
@@ -125,6 +125,12 @@ class FeaturePipeline:
     ``transform_target`` map raw telemetry into [0, 1];
     ``inverse_transform_target`` maps model outputs back to bytes/s so
     predictions at different locations can be compared in physical units.
+
+    ``normalization`` selects between the paper's frozen min-max scaling
+    (``"minmax"``, the default) and incrementally updated standardization
+    (``"running"``) whose statistics :meth:`partial_fit` merges batch by
+    batch -- the online-learning path, where refitting bounds on a full
+    window every cycle would defeat the flat-cost goal.
     """
 
     def __init__(
@@ -133,6 +139,7 @@ class FeaturePipeline:
         *,
         smoothing_window: int = 10,
         target: str = "throughput",
+        normalization: str = "minmax",
     ) -> None:
         if not features:
             raise FeatureError("need at least one feature")
@@ -144,11 +151,21 @@ class FeaturePipeline:
             raise FeatureError(
                 f"target must be 'throughput' or 'latency', got {target!r}"
             )
+        if normalization not in ("minmax", "running"):
+            raise FeatureError(
+                "normalization must be 'minmax' or 'running', "
+                f"got {normalization!r}"
+            )
         self.features = tuple(features)
         self.smoothing_window = int(smoothing_window)
         self.target = target
-        self._x_norm = MinMaxNormalizer()
-        self._y_norm = MinMaxNormalizer()
+        self.normalization = normalization
+        if normalization == "running":
+            self._x_norm = RunningNormalizer()
+            self._y_norm = RunningNormalizer()
+        else:
+            self._x_norm = MinMaxNormalizer()
+            self._y_norm = MinMaxNormalizer()
         # Column accessors are resolved once here instead of per
         # feature_matrix call: the decision path extracts features for
         # every probed access each epoch, and the per-call dict lookups
@@ -274,6 +291,28 @@ class FeaturePipeline:
             self.fit(records)
         return self
 
+    def partial_fit(self, records: "Sequence[AccessRecord]") -> "FeaturePipeline":
+        """Merge new telemetry into the running normalization statistics.
+
+        The online-learning update: each batch of fresh rows nudges the
+        running mean/variance so normalization tracks the workload without
+        an O(window) refit.  A no-op under frozen ``"minmax"``
+        normalization (the from-scratch path owns those bounds via
+        ``fit``/``ensure_fitted``).
+        """
+        if self.normalization != "running" or not records:
+            return self
+        x = self.feature_matrix(records)
+        y = self.target_vector(records)
+        if not self.fitted or self._fitted_features != self.features:
+            self._x_norm.fit(x)
+            self._y_norm.fit(y)
+            self._fitted_features = self.features
+        else:
+            self._x_norm.partial_fit(x)
+            self._y_norm.partial_fit(y)
+        return self
+
     def transform_features(self, records: "Sequence[AccessRecord]") -> np.ndarray:
         self._require_fitted()
         self._m_rows.inc(len(records))
@@ -377,6 +416,7 @@ class FeaturePipeline:
         feature tuple/accessors are reconstructed from config at restore.
         """
         return {
+            "normalization": self.normalization,
             "x_norm": self._x_norm.state_dict(),
             "y_norm": self._y_norm.state_dict(),
             "fitted_features": (
@@ -386,6 +426,15 @@ class FeaturePipeline:
         }
 
     def load_state_dict(self, state: dict) -> None:
+        # Checkpoints predating the online-learning mode carry no
+        # normalization tag; they are all min-max.
+        saved_mode = state.get("normalization", "minmax")
+        if saved_mode != self.normalization:
+            raise FeatureError(
+                f"checkpoint normalization {saved_mode!r} does not match "
+                f"this pipeline's {self.normalization!r}; rebuild the "
+                "pipeline with the checkpoint's configuration"
+            )
         self._x_norm.load_state_dict(state["x_norm"])
         self._y_norm.load_state_dict(state["y_norm"])
         self._fitted_features = (

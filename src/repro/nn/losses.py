@@ -14,15 +14,43 @@ def _check_shapes(y_pred: np.ndarray, y_true: np.ndarray) -> None:
         )
 
 
+def _row_weights(weight: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """Per-row weights shaped to broadcast over the output columns."""
+    w = np.asarray(weight, dtype=np.float64)
+    if w.ndim == 1:
+        w = w[:, None]
+    if w.shape[0] != y_pred.shape[0]:
+        raise ShapeError(
+            f"weight has {w.shape[0]} rows but predictions have "
+            f"{y_pred.shape[0]}"
+        )
+    return w
+
+
 class Loss:
-    """Base class: value + gradient w.r.t. predictions."""
+    """Base class: value + gradient w.r.t. predictions.
+
+    ``weight`` optionally carries per-row importance weights (prioritized
+    replay's bias correction); ``None`` is the exact unweighted
+    computation.
+    """
 
     name = "loss"
 
-    def value(self, y_pred: np.ndarray, y_true: np.ndarray) -> float:
+    def value(
+        self,
+        y_pred: np.ndarray,
+        y_true: np.ndarray,
+        weight: np.ndarray | None = None,
+    ) -> float:
         raise NotImplementedError
 
-    def gradient(self, y_pred: np.ndarray, y_true: np.ndarray) -> np.ndarray:
+    def gradient(
+        self,
+        y_pred: np.ndarray,
+        y_true: np.ndarray,
+        weight: np.ndarray | None = None,
+    ) -> np.ndarray:
         raise NotImplementedError
 
 
@@ -31,16 +59,32 @@ class MeanSquaredError(Loss):
 
     name = "mse"
 
-    def value(self, y_pred: np.ndarray, y_true: np.ndarray) -> float:
+    def value(
+        self,
+        y_pred: np.ndarray,
+        y_true: np.ndarray,
+        weight: np.ndarray | None = None,
+    ) -> float:
         _check_shapes(y_pred, y_true)
         # Divergence (overflow to inf) is a reportable outcome, not a bug:
         # Table II marks diverged models explicitly.
         with np.errstate(over="ignore", invalid="ignore"):
-            return float(np.mean((y_pred - y_true) ** 2))
+            if weight is None:
+                return float(np.mean((y_pred - y_true) ** 2))
+            w = _row_weights(weight, y_pred)
+            return float(np.mean(w * (y_pred - y_true) ** 2))
 
-    def gradient(self, y_pred: np.ndarray, y_true: np.ndarray) -> np.ndarray:
+    def gradient(
+        self,
+        y_pred: np.ndarray,
+        y_true: np.ndarray,
+        weight: np.ndarray | None = None,
+    ) -> np.ndarray:
         _check_shapes(y_pred, y_true)
-        return 2.0 * (y_pred - y_true) / y_pred.size
+        if weight is None:
+            return 2.0 * (y_pred - y_true) / y_pred.size
+        w = _row_weights(weight, y_pred)
+        return 2.0 * w * (y_pred - y_true) / y_pred.size
 
 
 class MeanAbsoluteError(Loss):
@@ -48,13 +92,29 @@ class MeanAbsoluteError(Loss):
 
     name = "mae"
 
-    def value(self, y_pred: np.ndarray, y_true: np.ndarray) -> float:
+    def value(
+        self,
+        y_pred: np.ndarray,
+        y_true: np.ndarray,
+        weight: np.ndarray | None = None,
+    ) -> float:
         _check_shapes(y_pred, y_true)
-        return float(np.mean(np.abs(y_pred - y_true)))
+        if weight is None:
+            return float(np.mean(np.abs(y_pred - y_true)))
+        w = _row_weights(weight, y_pred)
+        return float(np.mean(w * np.abs(y_pred - y_true)))
 
-    def gradient(self, y_pred: np.ndarray, y_true: np.ndarray) -> np.ndarray:
+    def gradient(
+        self,
+        y_pred: np.ndarray,
+        y_true: np.ndarray,
+        weight: np.ndarray | None = None,
+    ) -> np.ndarray:
         _check_shapes(y_pred, y_true)
-        return np.sign(y_pred - y_true) / y_pred.size
+        if weight is None:
+            return np.sign(y_pred - y_true) / y_pred.size
+        w = _row_weights(weight, y_pred)
+        return w * np.sign(y_pred - y_true) / y_pred.size
 
 
 _REGISTRY: dict[str, type[Loss]] = {

@@ -175,6 +175,7 @@ class Sequential:
         shuffle: bool = False,
         stop_on_divergence: bool = True,
         patience: int | None = None,
+        sample_weight: np.ndarray | None = None,
     ) -> TrainingHistory:
         """Train with mini-batch gradient descent.
 
@@ -188,6 +189,10 @@ class Sequential:
         ``patience`` enables early stopping: training halts once the
         validation loss has not improved for that many consecutive epochs
         (requires ``validation_data``).
+
+        ``sample_weight`` supplies per-row loss weights (the prioritized
+        replay buffer's importance-sampling correction); the validation
+        loss stays unweighted.  ``None`` is exactly the unweighted path.
         """
         if epochs <= 0:
             raise ConfigurationError(f"epochs must be positive, got {epochs}")
@@ -210,6 +215,13 @@ class Sequential:
             raise ShapeError(f"x has {len(x)} rows but y has {len(y)}")
         if len(x) == 0:
             raise ShapeError("cannot fit on an empty dataset")
+        if sample_weight is not None:
+            sample_weight = np.asarray(sample_weight, dtype=np.float64).ravel()
+            if len(sample_weight) != len(x):
+                raise ShapeError(
+                    f"x has {len(x)} rows but sample_weight has "
+                    f"{len(sample_weight)}"
+                )
         loss_fn = get_loss(loss)
         opt = get_optimizer(optimizer)
         history = TrainingHistory()
@@ -224,10 +236,14 @@ class Sequential:
             for start in range(0, len(x), batch_size):
                 batch_idx = indices[start : start + batch_size]
                 xb, yb = x[batch_idx], y[batch_idx]
+                wb = (
+                    sample_weight[batch_idx]
+                    if sample_weight is not None else None
+                )
                 pred = self._forward(xb, training=True)
-                epoch_loss += loss_fn.value(pred, yb)
+                epoch_loss += loss_fn.value(pred, yb, wb)
                 n_batches += 1
-                self._backward(loss_fn.gradient(pred, yb))
+                self._backward(loss_fn.gradient(pred, yb, wb))
                 self._apply_gradients(opt)
             mean_loss = epoch_loss / n_batches
             history.train_loss.append(mean_loss)

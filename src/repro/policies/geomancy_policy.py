@@ -105,7 +105,11 @@ class GeomancyDynamicPolicy(PlacementPolicy):
         self._require(files, devices)
         if db.access_count() < 50:
             return None
-        report = self.engine.train(db)
+        report = (
+            self.engine.train_incremental(db)
+            if self.config.online_learning
+            else self.engine.train(db)
+        )
         skip = (
             (self.config.require_skill and not report.skillful)
             or report.diverged

@@ -25,6 +25,7 @@ from repro.recovery.checkpoint import CheckpointManager, LoadedCheckpoint
 from repro.recovery.events import EventLog, RecoveryEvent
 from repro.recovery.guardrail import Guardrail, GuardrailTrip
 from repro.recovery.journal import LayoutJournal
+from repro.recovery.weight_snapshots import WeightSnapshotStore
 
 __all__ = [
     "CheckpointManager",
@@ -34,4 +35,5 @@ __all__ = [
     "LayoutJournal",
     "LoadedCheckpoint",
     "RecoveryEvent",
+    "WeightSnapshotStore",
 ]

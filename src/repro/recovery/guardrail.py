@@ -77,6 +77,7 @@ class Guardrail:
         cooldown_runs: int = 3,
         fallback: str = "static",
         event_log: EventLog | None = None,
+        weight_rollback=None,
     ) -> None:
         if window < 1:
             raise ConfigurationError(f"window must be >= 1, got {window}")
@@ -102,6 +103,13 @@ class Guardrail:
         self.explode_factor = explode_factor
         self.cooldown_runs = cooldown_runs
         self.fallback = fallback
+        #: optional ``() -> int | None`` hook restoring the engine's last
+        #: frozen-weight snapshot (see
+        #: :class:`~repro.recovery.weight_snapshots.WeightSnapshotStore`);
+        #: invoked on training-health trips so a poisoned online model is
+        #: rolled back to stable weights, not just demoted.  Returns the
+        #: restored snapshot step, or ``None`` when nothing was restored.
+        self.weight_rollback = weight_rollback
         self.event_log = event_log if event_log is not None else EventLog()
         self._mode = LEARNING
         self._cooldown_left = 0
@@ -186,6 +194,15 @@ class Guardrail:
     # -- mode machine ----------------------------------------------------
 
     def _trip(self, reason: str, *, run_index: int, t: float, detail: dict):
+        if (
+            self.weight_rollback is not None
+            and reason in (NAN_LOSS, LOSS_EXPLOSION)
+        ):
+            restored = self.weight_rollback()
+            detail = dict(detail)
+            detail["weights_rolled_back"] = restored is not None
+            if restored is not None:
+                detail["weight_snapshot_step"] = int(restored)
         trip = GuardrailTrip(reason=reason, run_index=run_index, t=t, detail=detail)
         self.trips.append(trip)
         self._mode = FALLBACK

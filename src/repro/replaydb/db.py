@@ -81,9 +81,22 @@ class ReplayDB:
     as a context manager; :meth:`close` releases the file handle (and is
     idempotent), after which any further operation raises
     :class:`~repro.errors.ReplayDBError`.
+
+    ``max_pending_accesses`` bounds the write-behind buffer: a bulk
+    insert that would grow it past the threshold lands the buffered rows
+    in sqlite immediately, so long fused runs with no intervening reads
+    cannot grow the buffer without limit.
     """
 
-    def __init__(self, path: str | os.PathLike = MEMORY) -> None:
+    #: default write-behind buffer bound (rows)
+    DEFAULT_MAX_PENDING_ACCESSES = 50_000
+
+    def __init__(
+        self,
+        path: str | os.PathLike = MEMORY,
+        *,
+        max_pending_accesses: int | None = None,
+    ) -> None:
         if isinstance(path, os.PathLike):
             path = os.fspath(path)
         if not isinstance(path, str) or not path:
@@ -91,6 +104,14 @@ class ReplayDB:
                 f"path must be a non-empty string or Path (or the "
                 f"{MEMORY!r} default), got {path!r}"
             )
+        if max_pending_accesses is None:
+            max_pending_accesses = self.DEFAULT_MAX_PENDING_ACCESSES
+        if max_pending_accesses < 1:
+            raise ReplayDBError(
+                "max_pending_accesses must be >= 1, "
+                f"got {max_pending_accesses}"
+            )
+        self.max_pending_accesses = int(max_pending_accesses)
         self.path = path
         self._closed = False
         #: write-behind buffer for bulk access inserts: rows wait here
@@ -229,7 +250,9 @@ class ReplayDB:
         Rows are staged in the write-behind buffer and land in sqlite at
         the next read boundary (any query, snapshot, or close), so
         back-to-back workload runs pay one ``executemany`` per boundary
-        instead of one per run.
+        instead of one per run.  When the buffer reaches
+        ``max_pending_accesses`` rows it is flushed immediately, bounding
+        the memory held between read boundaries.
         """
         if self._closed:
             raise ReplayDBError("ReplayDB is closed")
@@ -243,6 +266,8 @@ class ReplayDB:
             for r in records
         ]
         self._pending_accesses.extend(rows)
+        if len(self._pending_accesses) >= self.max_pending_accesses:
+            self._flush_accesses()
         self._m_rows_written.inc(len(rows))
         return len(rows)
 
@@ -314,6 +339,70 @@ class ReplayDB:
             f"SELECT * FROM (SELECT * FROM accesses {where} "
             f"ORDER BY id DESC LIMIT ?) ORDER BY id ASC",
             (*params, limit),
+        ).fetchall()
+        return [self._to_record(row) for row in rows]
+
+    def max_rowid(self) -> int:
+        """The largest access row id written so far (0 when empty).
+
+        Row ids are assigned in arrival order, so this is the
+        high-water-mark cursor the online-learning engine keeps between
+        decision points.
+        """
+        self._flush_accesses()
+        row = self._conn.execute("SELECT MAX(id) FROM accesses").fetchone()
+        return int(row[0]) if row[0] is not None else 0
+
+    def accesses_since(
+        self, rowid: int, *, limit: int | None = None
+    ) -> tuple[list[int], list[AccessRecord]]:
+        """Accesses appended after the ``rowid`` cursor, chronological.
+
+        The incremental-training query: rides the primary key, so the
+        cost is O(new rows) regardless of how large the table has grown.
+        Returns ``(ids, records)`` aligned element for element; the last
+        id is the caller's next cursor.  ``limit`` keeps only the most
+        recent ``limit`` of the new rows (a burst-bound for the online
+        path), still returned in chronological order.
+        """
+        if rowid < 0:
+            raise ReplayDBError(f"rowid must be non-negative, got {rowid}")
+        if limit is not None and limit <= 0:
+            raise ReplayDBError(f"limit must be positive, got {limit}")
+        self._flush_accesses()
+        self._m_queries.inc()
+        if limit is None:
+            rows = self._conn.execute(
+                "SELECT * FROM accesses WHERE id > ? ORDER BY id ASC",
+                (rowid,),
+            ).fetchall()
+        else:
+            rows = self._conn.execute(
+                "SELECT * FROM (SELECT * FROM accesses WHERE id > ? "
+                "ORDER BY id DESC LIMIT ?) ORDER BY id ASC",
+                (rowid, limit),
+            ).fetchall()
+        ids = [int(row[0]) for row in rows]
+        return ids, [self._to_record(row) for row in rows]
+
+    def accesses_by_id(self, ids: Iterable[int]) -> list[AccessRecord]:
+        """Fetch specific access rows by id, in ascending-id order.
+
+        Serves the prioritized replay buffer: sampled row ids come back
+        as records in chronological order (duplicates collapse; unknown
+        ids are silently absent).  Point lookups on the primary key, so
+        the cost is O(k log n) for k ids.
+        """
+        wanted = sorted(set(int(i) for i in ids))
+        if not wanted:
+            return []
+        self._flush_accesses()
+        self._m_queries.inc()
+        placeholders = ", ".join("?" for _ in wanted)
+        rows = self._conn.execute(
+            f"SELECT * FROM accesses WHERE id IN ({placeholders}) "
+            "ORDER BY id ASC",
+            wanted,
         ).fetchall()
         return [self._to_record(row) for row in rows]
 
@@ -398,23 +487,35 @@ class ReplayDB:
             raise ReplayDBError(f"limit must be positive, got {limit}")
         self._flush_accesses()
         self._m_queries.inc()
-        where, params = "", []
+        fields = ", ".join(PROBE_FIELDS)
         if fids is not None:
+            # Explicit fid list: one indexed top-N probe per file
+            # (``idx_accesses_fid``, ORDER BY id DESC LIMIT k) instead of
+            # the whole-table window scan, so the decision epoch's
+            # telemetry read costs O(files x limit) however large the
+            # access log has grown.  Row content and ordering are
+            # identical to the window query below.
             wanted = sorted(set(fids))
             if not wanted:
                 return [], {}
-            placeholders = ", ".join("?" for _ in wanted)
-            where = f"WHERE fid IN ({placeholders})"
-            params = wanted
-        fields = ", ".join(PROBE_FIELDS)
-        rows = self._conn.execute(
-            f"SELECT {fields} FROM ("
-            f"  SELECT id, {fields}, ROW_NUMBER() OVER "
-            "    (PARTITION BY fid ORDER BY id DESC) AS rn"
-            f"  FROM accesses {where}"
-            ") WHERE rn <= ? ORDER BY fid ASC, id ASC",
-            (*params, limit),
-        ).fetchall()
+            rows = []
+            execute = self._conn.execute
+            for fid in wanted:
+                per_fid = execute(
+                    f"SELECT {fields} FROM accesses WHERE fid = ? "
+                    "ORDER BY id DESC LIMIT ?",
+                    (fid, limit),
+                ).fetchall()
+                rows.extend(reversed(per_fid))
+        else:
+            rows = self._conn.execute(
+                f"SELECT {fields} FROM ("
+                f"  SELECT id, {fields}, ROW_NUMBER() OVER "
+                "    (PARTITION BY fid ORDER BY id DESC) AS rn"
+                "  FROM accesses"
+                ") WHERE rn <= ? ORDER BY fid ASC, id ASC",
+                (limit,),
+            ).fetchall()
         if not rows:
             return [], {}
         data = np.array(rows, dtype=np.float64)

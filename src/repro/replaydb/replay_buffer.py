@@ -1,0 +1,183 @@
+"""Prioritized experience replay over ReplayDB row ids.
+
+The online engine trains each cycle on the telemetry appended since the
+last decision point *plus* a sample of history, so the model keeps its
+grip on regimes the fresh batch does not cover (continual learning's
+catastrophic-forgetting guard).  Following prioritized experience replay
+(Schaul et al., referenced via the Sibyl/HDFS-RL lineage in PAPERS.md),
+history is not sampled uniformly: each stored row carries a priority
+derived from the model's last prediction error on it, sharpened by
+``alpha`` and multiplied by an exponential recency decay, so surprising
+and recent telemetry is replayed more often.  The induced sampling bias
+is corrected with importance-sampling weights ``(1 / (N * P(i)))**beta``
+(normalized by the batch maximum) that the trainer applies per-row in the
+loss.
+
+Only row *ids* and priorities live here -- the rows themselves stay in
+ReplayDB and are fetched by id at sample time -- so the buffer is O(capacity)
+memory regardless of how much history the database accumulates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReplayDBError
+
+
+class PrioritizedReplay:
+    """Fixed-capacity priority/recency-weighted sampler of ReplayDB rows.
+
+    A ring buffer over ``(rowid, priority, insertion index)`` triples:
+    when full, the oldest entry is evicted.  New rows enter at the
+    current maximum priority (every experience is replayed at least with
+    top odds once, per Schaul et al.), and ``update_priorities`` re-scores
+    rows after each training step from their fresh prediction errors.
+    Sampling is deterministic given the seed.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        alpha: float = 0.6,
+        beta: float = 0.4,
+        recency_half_life: float = 10_000.0,
+        seed: int = 0,
+    ) -> None:
+        if capacity < 1:
+            raise ReplayDBError(f"capacity must be >= 1, got {capacity}")
+        if alpha < 0:
+            raise ReplayDBError(f"alpha must be non-negative, got {alpha}")
+        if not 0.0 <= beta <= 1.0:
+            raise ReplayDBError(f"beta must be in [0, 1], got {beta}")
+        if recency_half_life <= 0:
+            raise ReplayDBError(
+                f"recency_half_life must be positive, got {recency_half_life}"
+            )
+        self.capacity = int(capacity)
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.recency_half_life = float(recency_half_life)
+        self._ids = np.zeros(self.capacity, dtype=np.int64)
+        self._priorities = np.zeros(self.capacity, dtype=np.float64)
+        self._inserted = np.zeros(self.capacity, dtype=np.int64)
+        self._slot_by_id: dict[int, int] = {}
+        self._size = 0
+        self._next_slot = 0
+        self._counter = 0  # monotone insertion clock (drives recency)
+        self._max_priority = 1.0
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def max_priority(self) -> float:
+        return self._max_priority
+
+    def add(self, ids: list[int] | np.ndarray) -> None:
+        """Admit new rows at maximum priority (oldest entries evicted)."""
+        for rowid in ids:
+            rowid = int(rowid)
+            slot = self._slot_by_id.get(rowid)
+            if slot is None:
+                slot = self._next_slot
+                evicted = self._ids[slot]
+                if self._size == self.capacity and evicted != rowid:
+                    self._slot_by_id.pop(int(evicted), None)
+                self._next_slot = (slot + 1) % self.capacity
+                if self._size < self.capacity:
+                    self._size += 1
+                self._slot_by_id[rowid] = slot
+                self._ids[slot] = rowid
+            self._priorities[slot] = self._max_priority
+            self._inserted[slot] = self._counter
+            self._counter += 1
+
+    def _sampling_probabilities(self) -> np.ndarray:
+        priorities = self._priorities[: self._size]
+        age = self._counter - self._inserted[: self._size]
+        recency = np.exp2(-age / self.recency_half_life)
+        weights = np.power(priorities, self.alpha) * recency
+        total = weights.sum()
+        if not np.isfinite(total) or total <= 0.0:
+            return np.full(self._size, 1.0 / self._size)
+        return weights / total
+
+    def sample(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Draw up to ``k`` distinct rows; returns ``(ids, is_weights)``.
+
+        ``is_weights`` are the importance-sampling corrections, already
+        normalized so the largest weight in the batch is 1.0 (only the
+        *relative* scale matters to SGD, and capping at 1 keeps weighted
+        updates no larger than unweighted ones, per Schaul et al.).
+        """
+        if k < 1:
+            raise ReplayDBError(f"sample size must be >= 1, got {k}")
+        if self._size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        k = min(k, self._size)
+        probs = self._sampling_probabilities()
+        chosen = self._rng.choice(self._size, size=k, replace=False, p=probs)
+        ids = self._ids[chosen].copy()
+        weights = np.power(self._size * probs[chosen], -self.beta)
+        weights /= weights.max()
+        return ids, weights
+
+    def update_priorities(
+        self,
+        ids: list[int] | np.ndarray,
+        errors: list[float] | np.ndarray,
+        *,
+        epsilon: float = 1e-6,
+    ) -> None:
+        """Re-score rows from fresh prediction errors.
+
+        ``priority = |error| + epsilon`` -- the TD-style magnitude; the
+        ``alpha`` sharpening happens at sample time so stored priorities
+        remain raw errors.  Rows evicted since sampling are skipped.
+        """
+        if len(ids) != len(errors):
+            raise ReplayDBError(
+                f"{len(ids)} ids but {len(errors)} errors"
+            )
+        for rowid, error in zip(ids, errors):
+            slot = self._slot_by_id.get(int(rowid))
+            if slot is None:
+                continue
+            priority = abs(float(error)) + epsilon
+            if not np.isfinite(priority):
+                priority = self._max_priority
+            self._priorities[slot] = priority
+            if priority > self._max_priority:
+                self._max_priority = priority
+
+    # -- checkpointing -----------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "ids": self._ids[: self._size].tolist(),
+            "priorities": self._priorities[: self._size].tolist(),
+            "inserted": self._inserted[: self._size].tolist(),
+            "next_slot": self._next_slot,
+            "counter": self._counter,
+            "max_priority": self._max_priority,
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        ids = state["ids"]
+        if len(ids) > self.capacity:
+            raise ReplayDBError(
+                f"checkpoint holds {len(ids)} entries but capacity is "
+                f"{self.capacity}; rebuild with the checkpoint's config"
+            )
+        self._size = len(ids)
+        self._ids[: self._size] = ids
+        self._priorities[: self._size] = state["priorities"]
+        self._inserted[: self._size] = state["inserted"]
+        self._slot_by_id = {int(rowid): i for i, rowid in enumerate(ids)}
+        self._next_slot = int(state["next_slot"])
+        self._counter = int(state["counter"])
+        self._max_priority = float(state["max_priority"])
+        self._rng.bit_generator.state = state["rng"]

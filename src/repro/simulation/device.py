@@ -121,12 +121,14 @@ class DeviceStats:
     """Cumulative accounting for one device.
 
     Throughput samples live in a growable float64 buffer, and the mean/std
-    telemetry reads come from running sum/sum-of-squares aggregates, so a
+    telemetry reads come from Welford running mean/M2 aggregates, so a
     telemetry query costs O(1) instead of an O(n) ``np.mean``/``np.std``
-    over the full history.
+    over the full history.  Welford (rather than sum/sum-of-squares) keeps
+    the variance numerically stable for large nearly-equal samples, where
+    the naive formula cancels catastrophically.
     """
 
-    __slots__ = ("accesses", "bytes_served", "busy_time", "_buf", "_n", "_sum", "_sumsq")
+    __slots__ = ("accesses", "bytes_served", "busy_time", "_buf", "_n", "_mean", "_m2")
 
     _INITIAL_CAPACITY = 256
 
@@ -142,8 +144,8 @@ class DeviceStats:
         self.busy_time = float(busy_time)
         self._buf = np.empty(self._INITIAL_CAPACITY, dtype=np.float64)
         self._n = 0
-        self._sum = 0.0
-        self._sumsq = 0.0
+        self._mean = 0.0
+        self._m2 = 0.0
         if throughput_samples:
             for value in throughput_samples:
                 self.append_sample(float(value))
@@ -164,8 +166,8 @@ class DeviceStats:
             max(self._INITIAL_CAPACITY, len(samples)), dtype=np.float64
         )
         self._n = 0
-        self._sum = 0.0
-        self._sumsq = 0.0
+        self._mean = 0.0
+        self._m2 = 0.0
         for value in samples:
             self.append_sample(float(value))
 
@@ -183,9 +185,11 @@ class DeviceStats:
             grown[:n] = buf
             self._buf = buf = grown
         buf[n] = value
-        self._n = n + 1
-        self._sum += value
-        self._sumsq += value * value
+        n += 1
+        self._n = n
+        delta = value - self._mean
+        self._mean += delta / n
+        self._m2 += delta * (value - self._mean)
 
     def extend_samples(self, values: list[float]) -> None:
         """Append many samples at once.
@@ -207,25 +211,26 @@ class DeviceStats:
             self._buf = buf = grown
         buf[n:need] = values
         self._n = need
-        total = self._sum
-        sumsq = self._sumsq
+        mean = self._mean
+        m2 = self._m2
         for value in values:
-            total += value
-            sumsq += value * value
-        self._sum = total
-        self._sumsq = sumsq
+            n += 1
+            delta = value - mean
+            mean += delta / n
+            m2 += delta * (value - mean)
+        self._mean = mean
+        self._m2 = m2
 
     # -- telemetry reads ---------------------------------------------------
     def mean_throughput_gbps(self) -> float:
         if not self._n:
             raise SimulationError("no accesses recorded on this device")
-        return self._sum / self._n / GBPS
+        return self._mean / GBPS
 
     def std_throughput_gbps(self) -> float:
         if not self._n:
             raise SimulationError("no accesses recorded on this device")
-        mean = self._sum / self._n
-        variance = self._sumsq / self._n - mean * mean
+        variance = self._m2 / self._n
         if variance < 0.0:
             variance = 0.0
         return float(np.sqrt(variance)) / GBPS

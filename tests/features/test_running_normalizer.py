@@ -1,0 +1,125 @@
+"""RunningNormalizer: incremental statistics vs. the batch oracle.
+
+The load-bearing property (the online pipeline's correctness contract):
+Chan-merged running mean/variance over any chunking of a data stream
+matches a single batch refit over the concatenation to ~1e-9 relative
+error, for adversarial value scales and chunk shapes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FeatureError
+from repro.features.normalize import RunningNormalizer
+
+
+def batch_stats(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    return x.mean(axis=0), x.var(axis=0)
+
+
+@st.composite
+def chunked_streams(draw):
+    """A (chunks, concatenated) pair with shared column count."""
+    cols = draw(st.integers(min_value=1, max_value=4))
+    n_chunks = draw(st.integers(min_value=1, max_value=5))
+    scale = draw(st.sampled_from([1e-6, 1.0, 1e6, 1e9]))
+    offset = draw(st.sampled_from([0.0, -5.0, 1e8]))
+    chunks = []
+    for _ in range(n_chunks):
+        rows = draw(st.integers(min_value=1, max_value=30))
+        values = draw(
+            st.lists(
+                st.floats(
+                    min_value=-1.0, max_value=1.0,
+                    allow_nan=False, allow_infinity=False,
+                ),
+                min_size=rows * cols, max_size=rows * cols,
+            )
+        )
+        chunks.append(
+            np.array(values, dtype=np.float64).reshape(rows, cols)
+            * scale + offset
+        )
+    return chunks, np.concatenate(chunks, axis=0)
+
+
+class TestMatchesBatchRefit:
+    @settings(max_examples=200, deadline=None)
+    @given(chunked_streams())
+    def test_running_stats_match_batch_within_1e9(self, stream):
+        chunks, everything = stream
+        running = RunningNormalizer()
+        for chunk in chunks:
+            running.partial_fit(chunk)
+        mean_ref, var_ref = batch_stats(everything)
+        span = np.abs(everything).max(axis=0)
+        eps = np.finfo(np.float64).eps
+        assert np.all(np.abs(running.mean - mean_ref) <= 1e-9 * span)
+        # 1e-9 relative, floored at the conditioning limit eps * span**2
+        # past which no float64 variance algorithm (the numpy batch
+        # oracle included) is meaningful.
+        tol = np.maximum(1e-9 * var_ref, eps * span**2)
+        assert np.all(np.abs(running.variance - var_ref) <= tol)
+
+    def test_transform_matches_batch_fitted_transform(self):
+        rng = np.random.default_rng(1)
+        chunks = [
+            rng.normal(50.0, 7.0, size=(rows, 3)) * [1.0, 1e-6, 1e6]
+            for rows in (17, 1, 40, 8)
+        ]
+        everything = np.concatenate(chunks, axis=0)
+        running = RunningNormalizer()
+        for chunk in chunks:
+            running.partial_fit(chunk)
+        oracle = RunningNormalizer().fit(everything)
+        got = running.transform(everything)
+        want = oracle.transform(everything)
+        assert np.allclose(got, want, rtol=1e-9, atol=1e-12)
+
+
+class TestBasics:
+    def test_fit_resets_then_seeds(self):
+        norm = RunningNormalizer()
+        norm.partial_fit(np.array([[100.0], [200.0]]))
+        norm.fit(np.array([[1.0], [3.0]]))
+        assert norm.count == 2
+        assert norm.mean[0] == 2.0
+
+    def test_partial_fit_on_unfitted_seeds(self):
+        norm = RunningNormalizer().partial_fit(np.array([[1.0], [2.0]]))
+        assert norm.fitted and norm.count == 2
+
+    def test_constant_column_transforms_to_zero(self):
+        norm = RunningNormalizer().fit(np.array([[5.0, 1.0], [5.0, 3.0]]))
+        out = norm.transform(np.array([[5.0, 2.0]]))
+        assert out[0, 0] == 0.0
+
+    def test_inverse_transform_round_trips(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(50.0, 10.0, size=(40, 3))
+        norm = RunningNormalizer().fit(x)
+        assert np.allclose(norm.inverse_transform(norm.transform(x)), x)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(FeatureError):
+            RunningNormalizer().transform(np.array([[1.0]]))
+
+    def test_column_count_mismatch_raises(self):
+        norm = RunningNormalizer().fit(np.array([[1.0, 2.0]]))
+        with pytest.raises(FeatureError):
+            norm.partial_fit(np.array([[1.0]]))
+
+    def test_state_round_trip(self):
+        a = RunningNormalizer()
+        a.partial_fit(np.array([[1.0, 10.0], [2.0, 20.0]]))
+        a.partial_fit(np.array([[3.0, 30.0]]))
+        b = RunningNormalizer()
+        b.load_state_dict(a.state_dict())
+        x = np.array([[2.5, 25.0]])
+        assert np.array_equal(a.transform(x), b.transform(x))
+        b.partial_fit(np.array([[4.0, 40.0]]))
+        a.partial_fit(np.array([[4.0, 40.0]]))
+        assert np.array_equal(a.mean, b.mean)
+        assert np.array_equal(a.variance, b.variance)

@@ -1,0 +1,61 @@
+"""Online continual-learning latency gates (``pytest -m perf``).
+
+The acceptance bar for the online engine: decision-epoch cost stays
+flat (within 1.5x) from the smallest to the largest ReplayDB
+checkpoint, the from-scratch baseline demonstrably grows with the
+table, layout quality matches the from-scratch path on the synthetic
+ground-truth signal, and the first incremental epoch is bit-for-bit
+the from-scratch oracle.  Writes ``BENCH_online.json`` so successive
+PRs accumulate a perf trajectory.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.online_bench import run_online_benchmark
+
+OUT_PATH = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "benchmarks" / "out" / "BENCH_online.json"
+)
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def online_result():
+    return run_online_benchmark()
+
+
+class TestOnlineEpochLatency:
+    def test_online_epoch_flat_within_1_5x(self, online_result):
+        assert online_result.online_growth <= 1.5, (
+            f"online epoch grew {online_result.online_growth:.2f}x "
+            f"from {online_result.cells[0].db_rows} to "
+            f"{online_result.cells[-1].db_rows} rows"
+        )
+
+    def test_from_scratch_epoch_grows_with_history(self, online_result):
+        assert online_result.scratch_growth > 2.0
+
+    def test_online_beats_scratch_at_scale(self, online_result):
+        assert online_result.cells[-1].speedup > 5.0
+
+    def test_quality_within_noise_of_scratch(self, online_result):
+        for cell in online_result.cells:
+            assert cell.online_quality >= cell.scratch_quality - 0.15
+            assert cell.online_quality >= 0.7
+
+    def test_first_incremental_epoch_is_the_oracle(self, online_result):
+        assert online_result.oracle.mare_equal
+        assert online_result.oracle.weights_equal
+        assert online_result.oracle.layouts_equal
+
+    def test_writes_bench_record(self, online_result):
+        path = online_result.write_json(OUT_PATH)
+        data = json.loads(path.read_text())
+        assert data["benchmark"] == "online-epoch"
+        assert data["oracle_equivalent"] is True
+        assert len(data["cells"]) == len(online_result.cells)

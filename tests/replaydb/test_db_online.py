@@ -1,0 +1,143 @@
+"""ReplayDB additions for the online engine: cursors, point fetches,
+the bounded write-behind buffer, and the per-fid columnar fast path."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReplayDBError
+from repro.replaydb.db import ReplayDB
+from repro.replaydb.records import AccessRecord
+
+
+def make_access(fid=1, fsid=0, device="file0", t=100, rb=1000, **overrides):
+    base = dict(
+        fid=fid, fsid=fsid, device=device, path=f"data/f{fid}.root",
+        rb=rb, wb=0, ots=t, otms=0, cts=t + 1, ctms=0,
+    )
+    base.update(overrides)
+    return AccessRecord(**base)
+
+
+@pytest.fixture
+def db():
+    with ReplayDB() as db:
+        yield db
+
+
+class TestMaxRowid:
+    def test_empty_db_is_zero(self, db):
+        assert db.max_rowid() == 0
+
+    def test_tracks_newest_row_including_pending(self, db):
+        db.insert_accesses(make_access(t=i + 1) for i in range(5))
+        # Still in the write-behind buffer: max_rowid must flush first.
+        assert db.max_rowid() == 5
+
+
+class TestAccessesSince:
+    def test_rejects_bad_cursor_and_limit(self, db):
+        with pytest.raises(ReplayDBError):
+            db.accesses_since(-1)
+        with pytest.raises(ReplayDBError):
+            db.accesses_since(0, limit=0)
+
+    def test_returns_only_rows_after_cursor(self, db):
+        db.insert_accesses(make_access(t=i + 1) for i in range(10))
+        cursor = db.max_rowid()
+        db.insert_accesses(make_access(t=100 + i) for i in range(3))
+        ids, records = db.accesses_since(cursor)
+        assert len(ids) == len(records) == 3
+        assert [r.ots for r in records] == [100, 101, 102]
+        assert ids[-1] == db.max_rowid()
+
+    def test_limit_keeps_newest_in_chronological_order(self, db):
+        db.insert_accesses(make_access(t=i + 1) for i in range(10))
+        ids, records = db.accesses_since(0, limit=4)
+        assert ids == sorted(ids)
+        assert [r.ots for r in records] == [7, 8, 9, 10]
+
+    def test_cursor_at_head_returns_nothing(self, db):
+        db.insert_accesses(make_access(t=i + 1) for i in range(5))
+        ids, records = db.accesses_since(db.max_rowid())
+        assert ids == [] and records == []
+
+
+class TestAccessesById:
+    def test_fetches_in_ascending_order_with_dedup(self, db):
+        db.insert_accesses(make_access(fid=i, t=i + 1) for i in range(8))
+        got = db.accesses_by_id([5, 2, 5, 7])
+        assert [r.ots for r in got] == [2, 5, 7]
+
+    def test_unknown_ids_silently_absent(self, db):
+        db.insert_accesses(make_access(t=i + 1) for i in range(3))
+        assert db.accesses_by_id([99]) == []
+        assert db.accesses_by_id([]) == []
+
+    def test_aligns_with_accesses_since_ids(self, db):
+        db.insert_accesses(make_access(fid=i % 3, t=i + 1) for i in range(12))
+        ids, records = db.accesses_since(0)
+        assert db.accesses_by_id(ids) == records
+
+
+class TestBoundedWriteBehind:
+    def test_rejects_non_positive_bound(self):
+        with pytest.raises(ReplayDBError):
+            ReplayDB(max_pending_accesses=0)
+
+    def test_buffer_flushes_at_threshold_without_a_read(self):
+        with ReplayDB(max_pending_accesses=4) as db:
+            db.insert_accesses(make_access(t=i + 1) for i in range(3))
+            assert len(db._pending_accesses) == 3
+            db.insert_accesses([make_access(t=4)])
+            # Threshold reached: rows are in sqlite, buffer is empty.
+            assert len(db._pending_accesses) == 0
+            row = db._conn.execute(
+                "SELECT COUNT(*) FROM accesses"
+            ).fetchone()
+            assert row[0] == 4
+
+    def test_small_batches_stay_buffered_until_read(self):
+        with ReplayDB(max_pending_accesses=100) as db:
+            db.insert_accesses([make_access(t=1)])
+            assert len(db._pending_accesses) == 1
+            assert db.access_count() == 1  # read boundary flushes
+            assert len(db._pending_accesses) == 0
+
+    def test_default_bound_applied(self):
+        with ReplayDB() as db:
+            assert db.max_pending_accesses == (
+                ReplayDB.DEFAULT_MAX_PENDING_ACCESSES
+            )
+
+
+class TestPerFidColumnarFastPath:
+    def test_matches_window_scan_exactly(self, db):
+        rng = np.random.default_rng(0)
+        db.insert_accesses(
+            make_access(
+                fid=int(rng.integers(0, 6)),
+                fsid=int(rng.integers(1, 4)),
+                t=i + 1,
+                rb=int(rng.integers(1, 10_000)),
+            )
+            for i in range(300)
+        )
+        fids = db.files()
+        spans_fast, cols_fast = db.recent_access_columns_per_file(
+            10, fids=fids
+        )
+        spans_ref, cols_ref = db.recent_access_columns_per_file(10)
+        assert spans_fast == spans_ref
+        assert cols_fast.keys() == cols_ref.keys()
+        for name in cols_ref:
+            assert np.array_equal(cols_fast[name], cols_ref[name])
+
+    def test_fid_subset_returns_only_those_files(self, db):
+        db.insert_accesses(make_access(fid=i % 4, t=i + 1) for i in range(40))
+        spans, _ = db.recent_access_columns_per_file(5, fids=[1, 3])
+        assert [fid for fid, _, _ in spans] == [1, 3]
+
+    def test_empty_fid_list_returns_empty(self, db):
+        db.insert_accesses([make_access(t=1)])
+        spans, columns = db.recent_access_columns_per_file(5, fids=[])
+        assert spans == [] and columns == {}

@@ -1,0 +1,132 @@
+"""PrioritizedReplay unit tests: ring semantics, sampling, priorities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReplayDBError
+from repro.replaydb.replay_buffer import PrioritizedReplay
+
+
+class TestValidation:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ReplayDBError):
+            PrioritizedReplay(0)
+
+    def test_rejects_bad_alpha_beta_half_life(self):
+        with pytest.raises(ReplayDBError):
+            PrioritizedReplay(4, alpha=-0.1)
+        with pytest.raises(ReplayDBError):
+            PrioritizedReplay(4, beta=1.5)
+        with pytest.raises(ReplayDBError):
+            PrioritizedReplay(4, recency_half_life=0.0)
+
+    def test_rejects_bad_sample_size(self):
+        with pytest.raises(ReplayDBError):
+            PrioritizedReplay(4).sample(0)
+
+    def test_rejects_mismatched_priority_update(self):
+        with pytest.raises(ReplayDBError):
+            PrioritizedReplay(4).update_priorities([1, 2], [0.5])
+
+
+class TestRing:
+    def test_add_grows_until_capacity_then_evicts_oldest(self):
+        buf = PrioritizedReplay(3)
+        buf.add([1, 2, 3])
+        assert len(buf) == 3
+        buf.add([4])
+        assert len(buf) == 3
+        ids, _ = buf.sample(3)
+        assert set(ids.tolist()) == {2, 3, 4}
+
+    def test_re_adding_refreshes_in_place(self):
+        buf = PrioritizedReplay(3)
+        buf.add([1, 2, 3])
+        buf.update_priorities([1], [0.001])
+        buf.add([1])  # seen again: back to max priority, no duplicate slot
+        assert len(buf) == 3
+        ids, _ = buf.sample(3)
+        assert sorted(ids.tolist()) == [1, 2, 3]
+
+    def test_empty_sample_returns_empty(self):
+        ids, weights = PrioritizedReplay(4).sample(5)
+        assert ids.size == 0 and weights.size == 0
+
+
+class TestSampling:
+    def test_deterministic_given_seed(self):
+        a = PrioritizedReplay(64, seed=7)
+        b = PrioritizedReplay(64, seed=7)
+        for buf in (a, b):
+            buf.add(range(1, 51))
+            buf.update_priorities(range(1, 51), np.linspace(0.1, 5.0, 50))
+        ids_a, w_a = a.sample(10)
+        ids_b, w_b = b.sample(10)
+        assert np.array_equal(ids_a, ids_b)
+        assert np.array_equal(w_a, w_b)
+
+    def test_sample_without_replacement(self):
+        buf = PrioritizedReplay(32, seed=0)
+        buf.add(range(1, 21))
+        ids, _ = buf.sample(20)
+        assert len(set(ids.tolist())) == 20
+
+    def test_high_error_rows_sampled_more(self):
+        buf = PrioritizedReplay(100, alpha=1.0, recency_half_life=1e9, seed=3)
+        buf.add(range(1, 101))
+        errors = np.full(100, 1e-4)
+        errors[:5] = 10.0  # rows 1..5 are the surprising ones
+        buf.update_priorities(range(1, 101), errors)
+        hot = sum(
+            sum(1 for rowid in buf.sample(10)[0] if rowid <= 5)
+            for _ in range(50)
+        )
+        # 5 hot rows hold ~99.9% of the probability mass.
+        assert hot > 200
+
+    def test_is_weights_capped_at_one_and_downweight_favorites(self):
+        buf = PrioritizedReplay(100, alpha=1.0, beta=1.0, seed=5)
+        buf.add(range(1, 101))
+        errors = np.full(100, 0.1)
+        errors[0] = 10.0
+        buf.update_priorities(range(1, 101), errors)
+        ids, weights = buf.sample(50)
+        assert weights.max() == 1.0
+        by_id = dict(zip(ids.tolist(), weights.tolist()))
+        if 1 in by_id:  # the over-sampled row gets the smallest correction
+            assert by_id[1] == min(by_id.values())
+
+    def test_update_skips_evicted_rows(self):
+        buf = PrioritizedReplay(2)
+        buf.add([1, 2, 3])  # 1 evicted
+        buf.update_priorities([1, 2, 3], [5.0, 0.2, 0.3])
+        ids, _ = buf.sample(2)
+        assert set(ids.tolist()) == {2, 3}
+
+    def test_non_finite_error_falls_back_to_max_priority(self):
+        buf = PrioritizedReplay(4)
+        buf.add([1, 2])
+        buf.update_priorities([1], [float("nan")])
+        assert buf.max_priority == 1.0
+        ids, _ = buf.sample(2)
+        assert set(ids.tolist()) == {1, 2}
+
+
+class TestState:
+    def test_round_trip_resumes_identical_sampling(self):
+        a = PrioritizedReplay(32, seed=11)
+        a.add(range(1, 33))
+        a.update_priorities(range(1, 33), np.linspace(0.5, 3.0, 32))
+        a.sample(8)  # advance the RNG
+        b = PrioritizedReplay(32, seed=0)
+        b.load_state_dict(a.state_dict())
+        ids_a, w_a = a.sample(8)
+        ids_b, w_b = b.sample(8)
+        assert np.array_equal(ids_a, ids_b)
+        assert np.array_equal(w_a, w_b)
+
+    def test_rejects_oversized_checkpoint(self):
+        a = PrioritizedReplay(8)
+        a.add(range(1, 9))
+        with pytest.raises(ReplayDBError):
+            PrioritizedReplay(4).load_state_dict(a.state_dict())

@@ -474,8 +474,8 @@ class TestDeviceStatsAggregates:
         for value in samples:
             one_by_one.append_sample(value)
         assert bulk == one_by_one
-        assert bulk._sum == one_by_one._sum
-        assert bulk._sumsq == one_by_one._sumsq
+        assert bulk._mean == one_by_one._mean
+        assert bulk._m2 == one_by_one._m2
 
 
 class TestRunArraysPacking:
