@@ -1,0 +1,75 @@
+"""Saturation benchmark: graceful degradation through and past capacity.
+
+Sweeps offered multi-tenant load at 0.5x/1x/2x/4x of the Interface
+Daemon's service capacity over the bounded QoS plane and its unbounded
+legacy twin, fed the byte-identical flood.  Gate targets, checked at the
+highest >= 2x overload point against the unsaturated baseline:
+
+* bounded queue depth never exceeds the configured capacity (no memory
+  blowup);
+* control-message delivery stays >= 99% on the bounded plane;
+* bounded control p99 latency stays within 2x of its unsaturated value;
+* the unbounded twin demonstrably degrades (queue depth grows past
+  capacity, control latency explodes or delivery collapses);
+* under chaos faults (drops + corruption in flight) the bounded gates
+  still hold.
+
+Writes ``BENCH_saturation.json`` next to the other perf-trajectory
+records.
+"""
+
+import json
+import pathlib
+
+from repro.experiments.saturation import run_saturation
+from repro.experiments.spec import BENCH_SCALE
+
+JSON_PATH = pathlib.Path(__file__).parent / "out" / "BENCH_saturation.json"
+CHAOS_JSON_PATH = (
+    pathlib.Path(__file__).parent / "out" / "BENCH_saturation_chaos.json"
+)
+
+
+def _assert_graceful(result) -> None:
+    gates = result.acceptance()
+    assert gates["bounded_depth_within_capacity"]
+    assert gates["bounded_control_delivery_ok"]
+    assert gates["bounded_control_p99_ok"], gates["bounded_control_p99_ratio"]
+    assert gates["unbounded_depth_exceeds_capacity"]
+    assert gates["unbounded_degrades"]
+
+
+def test_saturation_graceful_degradation(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_saturation,
+        kwargs=dict(scale=BENCH_SCALE, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("saturation", result.to_text())
+    data = json.loads(result.write_json(JSON_PATH).read_text())
+    assert data["acceptance"]["bounded_depth_within_capacity"]
+
+    _assert_graceful(result)
+    # Shedding is load-proportional on the bounded plane: more overload,
+    # more telemetry shed, never control traffic.
+    overload = result.cell("bounded", 4.0)
+    onload = result.cell("bounded", 0.5)
+    assert overload.shed_fraction > onload.shed_fraction
+    assert onload.shed_fraction == 0.0
+    # The unbounded twin's backlog grows with the overload -- the memory
+    # blowup the bounded plane exists to prevent.
+    assert (
+        result.cell("unbounded", 4.0).peak_queue_depth
+        > result.cell("unbounded", 2.0).peak_queue_depth
+        > result.capacity
+    )
+
+
+def test_saturation_survives_chaos(save_result):
+    result = run_saturation(scale=BENCH_SCALE, seed=0, chaos=True)
+    save_result("saturation_chaos", result.to_text())
+    result.write_json(CHAOS_JSON_PATH)
+    _assert_graceful(result)
+    # Corrupted in-flight batches land as dead letters, not crashes.
+    assert any(cell.dead_letters > 0 for cell in result.cells)

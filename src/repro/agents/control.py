@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.agents.messages import LayoutCommand
 from repro.errors import (
     AgentError,
@@ -55,6 +57,9 @@ class ControlAgent:
         *,
         max_move_retries: int = 3,
         retry_backoff_s: float = 5.0,
+        retry_backoff_max_s: float = 300.0,
+        retry_jitter: bool = False,
+        seed: int = 0,
         health: HealthTracker | None = None,
     ) -> None:
         if max_move_retries < 0:
@@ -65,9 +70,24 @@ class ControlAgent:
             raise AgentError(
                 f"retry_backoff_s must be positive, got {retry_backoff_s}"
             )
+        if retry_backoff_max_s < retry_backoff_s:
+            raise AgentError(
+                f"retry_backoff_max_s must be >= retry_backoff_s, "
+                f"got {retry_backoff_max_s} < {retry_backoff_s}"
+            )
         self.cluster = cluster
         self.max_move_retries = int(max_move_retries)
         self.retry_backoff_s = float(retry_backoff_s)
+        #: cap on the exponential backoff, so deep retry chains cannot
+        #: push a file's next attempt arbitrarily far into the future
+        self.retry_backoff_max_s = float(retry_backoff_max_s)
+        #: seeded full jitter: the actual delay is uniform in
+        #: (0, capped backoff], drawn from a generator keyed to
+        #: (seed, fid, attempts) -- deterministic per run, but different
+        #: files never retry in lockstep, so an overload burst cannot
+        #: synchronize into a retry storm
+        self.retry_jitter = bool(retry_jitter)
+        self.seed = int(seed)
         self.health = health
         self.commands_executed = 0
         self.files_moved = 0
@@ -117,10 +137,24 @@ class ControlAgent:
                 fid, dst, attempts,
             )
             return
-        backoff = self.retry_backoff_s * 2 ** (attempts - 1)
+        backoff = self._backoff(fid, attempts)
         self._retries[fid] = _RetryState(
             dst=dst, attempts=attempts, next_eligible_t=t + backoff
         )
+
+    def _backoff(self, fid: int, attempts: int) -> float:
+        """Exponential backoff, capped, with optional seeded full jitter."""
+        backoff = min(
+            self.retry_backoff_max_s,
+            self.retry_backoff_s * 2 ** (attempts - 1),
+        )
+        if not self.retry_jitter:
+            return backoff
+        # Full jitter (uniform over (0, backoff]): spreads simultaneous
+        # failures across the whole window instead of re-colliding them
+        # at the same instant.  (1 - u) keeps the delay strictly positive.
+        u = np.random.default_rng((self.seed, fid, attempts)).random()
+        return backoff * (1.0 - u)
 
     def _due_retries(self, t: float) -> dict[int, str]:
         return {

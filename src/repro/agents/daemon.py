@@ -4,11 +4,22 @@
 SQLite database located outside the target system.  The Interface Daemon is
 a networking middleware that allows parallel requests to be sent between
 the target system, Geomancy, and internally within Geomancy."
+
+Overload hardening (beyond the paper): an optional
+:class:`~repro.agents.qos.AdmissionController` rate-limits ingestion per
+tenant with priority classes, so decision traffic survives telemetry
+floods; dead-lettered messages are persisted to a bounded
+:class:`~repro.agents.deadletter.DeadLetterStore` (and announced on the
+event bus) instead of being counted and thrown away; and
+:meth:`pump_telemetry` accepts a service ``budget`` so saturation studies
+can model a daemon with finite ingest capacity.
 """
 
 from __future__ import annotations
 
+from repro.agents.deadletter import DeadLetterStore
 from repro.agents.messages import LayoutCommand, TelemetryBatch
+from repro.agents.qos import AdmissionController, Priority
 from repro.agents.transport import InMemoryTransport
 from repro.errors import ReplayDBError
 from repro.observability import Observability, get_observability
@@ -29,16 +40,28 @@ class InterfaceDaemon:
         commands: InMemoryTransport,
         *,
         obs: Observability | None = None,
+        admission: AdmissionController | None = None,
+        dead_letter_store: DeadLetterStore | None = None,
     ) -> None:
         self.db = db
         self.telemetry = telemetry
         self.commands = commands
         self.obs = obs if obs is not None else get_observability()
+        #: optional per-tenant token-bucket admission in front of the DB;
+        #: None keeps the legacy ingest-everything behaviour bit-for-bit
+        self.admission = admission
+        #: malformed messages land here (bounded ring) instead of being
+        #: discarded; None keeps the count-only legacy behaviour
+        self.dead_letter_store = dead_letter_store
         self.batches_ingested = 0
         self.records_ingested = 0
         #: malformed messages counted and dropped instead of crashing the
         #: drain -- one bad batch must not strand everything queued behind it
         self.dead_letters = 0
+        #: records the admission controller refused (deliberate shedding,
+        #: distinct from malformed dead letters)
+        self.records_shed = 0
+        self.batches_shed = 0
         metrics = self.obs.metrics
         self._m_batches = metrics.counter(
             "repro_agents_batches_ingested_total",
@@ -52,46 +75,107 @@ class InterfaceDaemon:
             "repro_agents_dead_letters_total",
             "telemetry messages dropped as malformed or rejected",
         )
+        self._m_shed = metrics.counter(
+            "repro_agents_records_shed_total",
+            "telemetry records refused by the admission controller",
+        )
         self._m_layouts = metrics.counter(
             "repro_agents_layout_commands_total",
             "layout commands forwarded to the control agents",
         )
 
-    def pump_telemetry(self) -> int:
+    def _dead_letter(self, reason: str, message, at: float) -> None:
+        self.dead_letters += 1
+        self._m_dead.inc()
+        if self.dead_letter_store is not None:
+            self.dead_letter_store.add(reason, message, at)
+        if self.obs.enabled:
+            self.obs.emit(
+                "dead-letter", t=at, step=0,
+                reason=reason, kind=type(message).__name__,
+            )
+
+    def _ingest(self, message, now: float) -> int:
+        """Route one drained message; returns records stored from it."""
+        if not isinstance(message, TelemetryBatch):
+            self._dead_letter("non-telemetry message", message, now)
+            logger.warning(
+                "dead-lettered non-telemetry message of type %s "
+                "on the telemetry transport",
+                type(message).__name__,
+            )
+            return 0
+        if self.admission is not None:
+            decision = self.admission.admit(
+                message.tenant, Priority.TELEMETRY,
+                cost=len(message.records), now=message.sent_at,
+            )
+            if not decision.admitted:
+                self.batches_shed += 1
+                self.records_shed += len(message.records)
+                self._m_shed.inc(len(message.records))
+                if self.obs.enabled:
+                    self.obs.emit(
+                        "telemetry-shed", t=message.sent_at, step=0,
+                        tenant=message.tenant, records=len(message.records),
+                    )
+                return 0
+        try:
+            self.db.insert_accesses(message.records)
+        except ReplayDBError as exc:
+            self._dead_letter(f"rejected by the ReplayDB: {exc}", message, now)
+            logger.warning(
+                "dead-lettered telemetry batch of %d records "
+                "rejected by the ReplayDB: %s",
+                len(message.records), exc,
+            )
+            return 0
+        self.batches_ingested += 1
+        self._m_batches.inc()
+        return len(message.records)
+
+    def ingest(self, message, *, now: float | None = None) -> int:
+        """Route one already-received message; returns records stored.
+
+        The seam for harnesses that drain a shared transport themselves
+        (e.g. the saturation study multiplexing control and telemetry
+        over one bounded channel) but still want the daemon to be the
+        single authority on admission, dead-lettering, and DB writes.
+        """
+        at = now if now is not None else _message_time(message)
+        stored = self._ingest(message, at)
+        self.records_ingested += stored
+        self._m_records.inc(stored)
+        return stored
+
+    def pump_telemetry(
+        self, *, budget: int | None = None, now: float | None = None
+    ) -> int:
         """Drain pending telemetry batches into the ReplayDB.
 
         Returns the number of records stored.  Messages that are not
         telemetry batches (or batches the DB rejects) are dead-lettered --
-        counted, logged at WARNING, and discarded -- so the rest of the
-        queue still lands.
+        counted, persisted when a store is attached, logged at WARNING --
+        so the rest of the queue still lands.  With an admission
+        controller attached, each batch must also win its tenant's token
+        bucket or it is shed (counted, announced on the bus).
+
+        ``budget`` bounds the records ingested in this call (a daemon
+        with finite service capacity); unserved messages stay queued for
+        the next pump.  ``now`` is only used to timestamp dead letters
+        (defaults to each batch's ``sent_at``).
         """
         stored = 0
         with self.obs.span("replaydb_write"):
-            for message in self.telemetry.receive_all():
-                if not isinstance(message, TelemetryBatch):
-                    self.dead_letters += 1
-                    self._m_dead.inc()
-                    logger.warning(
-                        "dead-lettered non-telemetry message of type %s "
-                        "on the telemetry transport",
-                        type(message).__name__,
-                    )
-                    continue
-                try:
-                    self.db.insert_accesses(message.records)
-                except ReplayDBError as exc:
-                    self.dead_letters += 1
-                    self._m_dead.inc()
-                    logger.warning(
-                        "dead-lettered telemetry batch of %d records "
-                        "rejected by the ReplayDB: %s",
-                        len(message.records),
-                        exc,
-                    )
-                    continue
-                self.batches_ingested += 1
-                self._m_batches.inc()
-                stored += len(message.records)
+            if budget is None:
+                for message in self.telemetry.receive_all():
+                    at = now if now is not None else _message_time(message)
+                    stored += self._ingest(message, at)
+            else:
+                while self.telemetry.pending and stored < budget:
+                    message = self.telemetry.receive()
+                    at = now if now is not None else _message_time(message)
+                    stored += self._ingest(message, at)
         self.records_ingested += stored
         self._m_records.inc(stored)
         return stored
@@ -110,3 +194,8 @@ class InterfaceDaemon:
     def transfer_overhead_s(self) -> float:
         """Accumulated simulated network latency (the paper's ~3 ms/batch)."""
         return self.telemetry.total_latency_s + self.commands.total_latency_s
+
+
+def _message_time(message) -> float:
+    at = getattr(message, "sent_at", None)
+    return float(at) if isinstance(at, (int, float)) else 0.0

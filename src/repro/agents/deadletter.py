@@ -1,0 +1,201 @@
+"""Bounded dead-letter storage for the Interface Daemon.
+
+Malformed or rejected telemetry used to be counted and discarded; under
+overload that throws away the very evidence needed to debug the flood.
+The :class:`DeadLetterStore` keeps the most recent dead letters in a
+bounded ring -- oldest evicted first, so the store itself can never
+become the memory leak it exists to prevent -- and can persist them as
+JSONL so ``repro deadletters`` can inspect and requeue them after the
+run that shed them has exited.
+
+Telemetry batches are stored with their full record payload, so a
+requeue reconstructs real :class:`~repro.agents.messages.TelemetryBatch`
+messages and replays them through the normal ingestion path.  Foreign or
+corrupt messages keep only a ``repr`` -- there is nothing to replay.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.agents.messages import TelemetryBatch
+from repro.errors import AgentError
+from repro.replaydb.records import AccessRecord
+
+_RECORD_FIELDS = (
+    "fid", "fsid", "device", "path", "rb", "wb", "ots", "otms", "cts", "ctms",
+)
+
+
+def _record_to_dict(record: AccessRecord) -> dict:
+    raw = {name: getattr(record, name) for name in _RECORD_FIELDS}
+    if record.extra:
+        raw["extra"] = dict(record.extra)
+    return raw
+
+
+def _record_from_dict(raw: dict) -> AccessRecord:
+    return AccessRecord(
+        fid=int(raw["fid"]), fsid=int(raw["fsid"]),
+        device=str(raw["device"]), path=str(raw["path"]),
+        rb=int(raw["rb"]), wb=int(raw["wb"]),
+        ots=int(raw["ots"]), otms=int(raw["otms"]),
+        cts=int(raw["cts"]), ctms=int(raw["ctms"]),
+        extra=dict(raw.get("extra", {})),
+    )
+
+
+@dataclass
+class DeadLetter:
+    """One dead-lettered message with enough context to triage it."""
+
+    reason: str
+    kind: str
+    at: float
+    #: reconstructable telemetry payload, or None for foreign messages
+    payload: dict | None = None
+    requeued: bool = False
+    summary: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "reason": self.reason,
+            "kind": self.kind,
+            "at": self.at,
+            "payload": self.payload,
+            "requeued": self.requeued,
+            "summary": self.summary,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "DeadLetter":
+        return cls(
+            reason=str(raw["reason"]),
+            kind=str(raw["kind"]),
+            at=float(raw["at"]),
+            payload=raw.get("payload"),
+            requeued=bool(raw.get("requeued", False)),
+            summary=str(raw.get("summary", "")),
+        )
+
+    def to_batch(self) -> TelemetryBatch:
+        """Reconstruct the telemetry batch this letter preserved."""
+        if self.payload is None:
+            raise AgentError(
+                f"dead letter ({self.reason}) carries no replayable payload"
+            )
+        return TelemetryBatch(
+            device=str(self.payload["device"]),
+            records=tuple(
+                _record_from_dict(r) for r in self.payload["records"]
+            ),
+            sent_at=float(self.payload["sent_at"]),
+            tenant=str(self.payload.get("tenant", "default")),
+        )
+
+
+class DeadLetterStore:
+    """Bounded ring of recent dead letters with optional JSONL persistence."""
+
+    def __init__(
+        self, capacity: int = 256, *, path: str | Path | None = None
+    ) -> None:
+        if capacity < 1:
+            raise AgentError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.path = Path(path) if path is not None else None
+        self._ring: deque[DeadLetter] = deque(maxlen=self.capacity)
+        #: dead letters seen in total, including ones the ring evicted
+        self.total = 0
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def add(self, reason: str, message, at: float) -> DeadLetter:
+        """Record one dead-lettered message; returns the stored entry."""
+        payload = None
+        summary = repr(message)[:120]
+        if isinstance(message, TelemetryBatch):
+            payload = {
+                "device": message.device,
+                "tenant": message.tenant,
+                "sent_at": message.sent_at,
+                "records": [_record_to_dict(r) for r in message.records],
+            }
+            summary = (
+                f"{len(message.records)} records from {message.device!r} "
+                f"(tenant {message.tenant!r})"
+            )
+        letter = DeadLetter(
+            reason=reason, kind=type(message).__name__, at=float(at),
+            payload=payload, summary=summary,
+        )
+        if len(self._ring) == self.capacity:
+            self.evicted += 1
+        self._ring.append(letter)
+        self.total += 1
+        if self.path is not None:
+            self.save(self.path)
+        return letter
+
+    def entries(self) -> list[DeadLetter]:
+        return list(self._ring)
+
+    def replayable(self) -> list[DeadLetter]:
+        """Entries carrying a telemetry payload and not yet requeued."""
+        return [
+            letter for letter in self._ring
+            if letter.payload is not None and not letter.requeued
+        ]
+
+    def requeue_into(self, transport) -> int:
+        """Re-send every replayable letter; returns batches requeued.
+
+        Letters the transport refuses (a bounded queue under pressure)
+        stay un-requeued so a later attempt can retry them.
+        """
+        requeued = 0
+        for letter in self.replayable():
+            if transport.send(letter.to_batch()) is not False:
+                letter.requeued = True
+                requeued += 1
+        if requeued and self.path is not None:
+            self.save(self.path)
+        return requeued
+
+    # -- persistence -----------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Write the ring (oldest first) as one JSON object per line."""
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        header = {
+            "capacity": self.capacity, "total": self.total,
+            "evicted": self.evicted,
+        }
+        lines = [json.dumps(header)]
+        lines.extend(json.dumps(letter.to_dict()) for letter in self._ring)
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DeadLetterStore":
+        path = Path(path)
+        if not path.exists():
+            raise AgentError(f"no dead-letter store at {path}")
+        lines = [
+            line for line in path.read_text().splitlines() if line.strip()
+        ]
+        if not lines:
+            raise AgentError(f"dead-letter store at {path} is empty")
+        header = json.loads(lines[0])
+        store = cls(capacity=int(header["capacity"]), path=path)
+        for line in lines[1:]:
+            store._ring.append(DeadLetter.from_dict(json.loads(line)))
+        store.total = int(header.get("total", len(store._ring)))
+        store.evicted = int(header.get("evicted", 0))
+        return store

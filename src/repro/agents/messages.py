@@ -19,6 +19,9 @@ class TelemetryBatch:
     device: str
     records: tuple[AccessRecord, ...]
     sent_at: float
+    #: workload tenant the records belong to; the admission controller
+    #: rate-limits per tenant so one flooding tenant cannot starve the rest
+    tenant: str = "default"
 
     def __post_init__(self) -> None:
         if not self.records:

@@ -3,6 +3,14 @@
 "When a file is detected to have been accessed, the monitoring agent flags
 the start of the access and the end of the access and measures the number
 of bytes read and written on the file."
+
+Under overload the transport may refuse a batch (a bounded queue with a
+``reject``/``drop-newest`` policy returns ``False`` from ``send``).  The
+agent then *coalesces* instead of silently losing telemetry: the refused
+batch is down-sampled (every ``downsample_factor``-th record kept) into a
+bounded backlog that rides along with the next flush.  Lower-resolution
+telemetry still reaches the engine; the flood never grows an unbounded
+buffer on the sender side either.
 """
 
 from __future__ import annotations
@@ -23,16 +31,40 @@ class MonitoringAgent:
         transport: InMemoryTransport,
         *,
         batch_size: int = 32,
+        tenant: str = "default",
+        downsample_factor: int = 2,
+        backlog_batches: int = 4,
     ) -> None:
         if not device:
             raise AgentError("device name must be non-empty")
         if batch_size < 1:
             raise AgentError(f"batch_size must be >= 1, got {batch_size}")
+        if downsample_factor < 1:
+            raise AgentError(
+                f"downsample_factor must be >= 1, got {downsample_factor}"
+            )
+        if backlog_batches < 0:
+            raise AgentError(
+                f"backlog_batches must be >= 0, got {backlog_batches}"
+            )
         self.device = device
         self.transport = transport
         self.batch_size = int(batch_size)
+        self.tenant = tenant
+        #: when a batch is refused, keep every Nth record of it
+        self.downsample_factor = int(downsample_factor)
+        #: backlog capacity in units of ``batch_size`` records
+        self.backlog_limit = int(backlog_batches) * self.batch_size
         self._buffer: list[AccessRecord] = []
+        #: down-sampled survivors of refused batches, oldest first
+        self._backlog: list[AccessRecord] = []
         self.observed = 0
+        #: records dropped after a refusal (not even kept down-sampled)
+        self.shed_records = 0
+        #: records preserved through down-sampling after a refusal
+        self.coalesced_records = 0
+        #: flush attempts the transport refused
+        self.sends_rejected = 0
         metrics = get_observability().metrics
         self._m_observed = metrics.counter(
             "repro_agents_accesses_observed_total",
@@ -41,6 +73,14 @@ class MonitoringAgent:
         self._m_batches_sent = metrics.counter(
             "repro_agents_telemetry_batches_sent_total",
             "telemetry batches sent toward the Interface Daemon",
+        )
+        self._m_shed = metrics.counter(
+            "repro_agents_telemetry_records_shed_total",
+            "records dropped at the sender after transport backpressure",
+        )
+        self._m_coalesced = metrics.counter(
+            "repro_agents_telemetry_records_coalesced_total",
+            "records preserved by down-sampling after transport backpressure",
         )
 
     def observe(self, record: AccessRecord) -> None:
@@ -89,17 +129,41 @@ class MonitoringAgent:
         self._m_observed.inc(n)
 
     def flush(self, at: float) -> bool:
-        """Send any buffered records; returns whether a batch was sent."""
-        if not self._buffer:
+        """Send any buffered records; returns whether a batch was sent.
+
+        A refused send (transport backpressure) down-samples the batch
+        into the bounded backlog instead of losing it outright; the
+        survivors ride along with the next flush.
+        """
+        if not self._buffer and not self._backlog:
             return False
-        batch = TelemetryBatch(
-            device=self.device, records=tuple(self._buffer), sent_at=at
-        )
+        records = self._backlog + self._buffer
+        self._backlog = []
         self._buffer.clear()
-        self.transport.send(batch)
+        batch = TelemetryBatch(
+            device=self.device, records=tuple(records), sent_at=at,
+            tenant=self.tenant,
+        )
+        if self.transport.send(batch) is False:
+            self.sends_rejected += 1
+            self._shed(records)
+            return False
         self._m_batches_sent.inc()
         return True
 
+    def _shed(self, records: list[AccessRecord]) -> None:
+        """Coalesce a refused batch into the bounded backlog."""
+        kept = records[:: self.downsample_factor]
+        if len(kept) > self.backlog_limit:
+            # Keep the most recent survivors; telemetry value decays.
+            kept = kept[len(kept) - self.backlog_limit:]
+        self._backlog = kept
+        shed = len(records) - len(kept)
+        self.shed_records += shed
+        self.coalesced_records += len(kept)
+        self._m_shed.inc(shed)
+        self._m_coalesced.inc(len(kept))
+
     @property
     def buffered(self) -> int:
-        return len(self._buffer)
+        return len(self._buffer) + len(self._backlog)

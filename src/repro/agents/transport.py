@@ -1,34 +1,100 @@
-"""In-memory message transport with accounted latency.
+"""In-memory message transports with accounted latency and bounded queues.
 
 The paper's agents talk over a real network; here delivery is immediate but
 every message is charged the configured one-way latency (default 3 ms, the
 paper's measured average for telemetry transfer) into a running total that
 the overhead study reports.
+
+Two channels are provided:
+
+* :class:`InMemoryTransport` -- the plain FIFO the ordinary control plane
+  uses.  Optionally bounded (``maxsize``): a full queue sheds per the
+  configured policy instead of growing without limit, so even non-QoS
+  runs cannot strand the process in an allocation death spiral.
+* :class:`BoundedTransport` -- the QoS channel: a required capacity plus
+  per-priority lanes (:class:`~repro.agents.qos.Priority`), so layout
+  commands are delivered before movement records before telemetry, and
+  shedding under pressure evicts the lowest-priority traffic first.
+
+``send`` returns ``True`` when the message was enqueued and ``False``
+when it was shed or rejected -- the backpressure signal monitoring
+agents use to coalesce instead of silently losing telemetry.
 """
 
 from __future__ import annotations
 
 from collections import deque
 
-from repro.errors import AgentError
+from repro.agents.qos import Priority, classify
+from repro.errors import AgentError, TransportError
+
+#: shed policies a bounded queue may apply when full
+SHED_POLICIES = ("drop-oldest", "drop-newest", "reject")
 
 
 class InMemoryTransport:
     """FIFO channel between the target system and Geomancy."""
 
-    def __init__(self, latency_s: float = 0.003) -> None:
+    def __init__(
+        self,
+        latency_s: float = 0.003,
+        *,
+        maxsize: int | None = None,
+        policy: str = "drop-oldest",
+    ) -> None:
         if latency_s < 0:
             raise AgentError(f"latency must be non-negative, got {latency_s}")
+        if maxsize is not None and maxsize < 1:
+            raise TransportError(
+                f"maxsize must be >= 1 or None, got {maxsize}"
+            )
+        if policy not in SHED_POLICIES:
+            raise TransportError(
+                f"policy must be one of {SHED_POLICIES}, got {policy!r}"
+            )
         self.latency_s = float(latency_s)
+        self.maxsize = int(maxsize) if maxsize is not None else None
+        self.policy = policy
         self._queue: deque = deque()
         self.messages_sent = 0
         self.total_latency_s = 0.0
+        #: messages evicted or refused because the queue was full
+        self.shed = 0
+        #: sends refused with backpressure (``reject``/``drop-newest``)
+        self.rejected = 0
+        #: high-water mark of the pending queue
+        self.peak_pending = 0
 
-    def send(self, message) -> None:
-        """Enqueue a message, charging one latency unit."""
+    def _enqueue(self, message) -> bool:
+        """Queue ``message``, shedding per policy when full.
+
+        Returns whether the *offered* message was enqueued; a
+        ``drop-oldest`` shed evicts queued traffic instead, so the offer
+        itself still succeeds (the sender is not backpressured).
+        """
+        if self.maxsize is not None and len(self._queue) >= self.maxsize:
+            if self.policy == "drop-oldest":
+                self._queue.popleft()
+                self.shed += 1
+            else:  # drop-newest / reject: the new message is refused
+                self.shed += 1
+                self.rejected += 1
+                return False
         self._queue.append(message)
+        if len(self._queue) > self.peak_pending:
+            self.peak_pending = len(self._queue)
+        return True
+
+    def send(self, message) -> bool:
+        """Enqueue a message, charging one latency unit.
+
+        Returns ``False`` when a bounded queue refused the message
+        (``drop-newest``/``reject`` policies) -- the sender's cue to
+        coalesce or down-sample; ``True`` otherwise.
+        """
         self.messages_sent += 1
         self.total_latency_s += self.latency_s
+        return self._enqueue(message)
 
     def receive(self):
         """Pop the oldest pending message."""
@@ -45,3 +111,111 @@ class InMemoryTransport:
     @property
     def pending(self) -> int:
         return len(self._queue)
+
+
+class BoundedTransport(InMemoryTransport):
+    """Priority-laned bounded channel for the QoS control plane.
+
+    ``capacity`` bounds the *total* queued messages across lanes.  Each
+    message is classified (:func:`~repro.agents.qos.classify`) into a
+    lane; draining always serves higher-priority lanes first (FIFO
+    within a lane).  When full:
+
+    * ``drop-oldest`` evicts the oldest message of the lowest-priority
+      non-empty lane -- telemetry sheds before movement records before
+      control, and a layout command can displace queued telemetry;
+    * ``drop-newest`` refuses the offer unless a strictly lower-priority
+      message can be evicted instead;
+    * ``reject`` refuses any offer that does not fit, full stop, and
+      relies on sender backpressure.
+    """
+
+    def __init__(
+        self,
+        latency_s: float = 0.003,
+        *,
+        capacity: int,
+        policy: str = "drop-oldest",
+    ) -> None:
+        super().__init__(latency_s, maxsize=capacity, policy=policy)
+        self._lanes: dict[int, deque] = {
+            int(priority): deque() for priority in Priority
+        }
+        #: messages shed per priority class
+        self.shed_by_priority: dict[int, int] = {
+            int(priority): 0 for priority in Priority
+        }
+
+    @property
+    def capacity(self) -> int:
+        return self.maxsize  # type: ignore[return-value]
+
+    def _total(self) -> int:
+        return sum(len(lane) for lane in self._lanes.values())
+
+    def _evict_lowest(self, below: int | None = None) -> bool:
+        """Drop the oldest message of the lowest-priority non-empty lane.
+
+        ``below`` restricts eviction to lanes strictly lower-priority
+        (greater value) than the given class.  Returns whether a message
+        was evicted.
+        """
+        for priority in sorted(self._lanes, reverse=True):
+            if below is not None and priority <= below:
+                continue
+            lane = self._lanes[priority]
+            if lane:
+                lane.popleft()
+                self.shed += 1
+                self.shed_by_priority[priority] += 1
+                return True
+        return False
+
+    def _enqueue(self, message) -> bool:
+        priority = int(classify(message))
+        if self._total() >= self.maxsize:
+            if self.policy == "drop-oldest":
+                if not self._evict_lowest():  # pragma: no cover - capacity>=1
+                    return False
+            elif self.policy == "drop-newest":
+                # A higher-priority offer may displace queued
+                # lower-priority traffic; otherwise refuse the new one.
+                if not self._evict_lowest(below=priority):
+                    self.shed += 1
+                    self.rejected += 1
+                    self.shed_by_priority[priority] += 1
+                    return False
+            else:  # reject
+                self.shed += 1
+                self.rejected += 1
+                self.shed_by_priority[priority] += 1
+                return False
+        self._lanes[priority].append(message)
+        total = self._total()
+        if total > self.peak_pending:
+            self.peak_pending = total
+        return True
+
+    def receive(self):
+        for priority in sorted(self._lanes):
+            lane = self._lanes[priority]
+            if lane:
+                return lane.popleft()
+        raise AgentError("no pending messages")
+
+    def receive_all(self) -> list:
+        drained: list = []
+        for priority in sorted(self._lanes):
+            lane = self._lanes[priority]
+            drained.extend(lane)
+            lane.clear()
+        return drained
+
+    @property
+    def pending(self) -> int:
+        return self._total()
+
+    def pending_by_priority(self) -> dict[int, int]:
+        return {
+            priority: len(lane) for priority, lane in self._lanes.items()
+        }

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.agents.transport import SHED_POLICIES
 from repro.errors import ConfigurationError
 from repro.faults.schedule import parse_fault_event
 from repro.features.pipeline import DEFAULT_LIVE_FEATURES
@@ -66,6 +67,38 @@ class GeomancyConfig:
     max_move_retries: int = 3
     #: base delay before the first retry; doubles per attempt
     retry_backoff_s: float = 5.0
+    #: cap on the exponential retry backoff
+    retry_backoff_max_s: float = 300.0
+    #: spread retry delays with seeded full jitter (uniform over the
+    #: capped backoff window) so overload bursts cannot synchronize
+    #: failed moves into a retry storm; off by default so ordinary runs
+    #: stay bit-for-bit identical to the deterministic schedule
+    retry_jitter: bool = False
+    #: -- overload & QoS (repro.agents.qos / BoundedTransport) ------------
+    #: telemetry transport queue capacity in messages (0 = unbounded, the
+    #: legacy behaviour); bounded queues shed per ``queue_shed_policy``
+    telemetry_queue_capacity: int = 0
+    #: what a full bounded queue does with new traffic: "drop-oldest"
+    #: evicts the oldest lowest-priority message, "drop-newest" refuses
+    #: the offer (backpressure), "reject" refuses without displacement
+    queue_shed_policy: str = "drop-oldest"
+    #: put a per-tenant token-bucket admission controller in front of the
+    #: Interface Daemon (control > movement > telemetry priority classes)
+    admission_enabled: bool = False
+    #: default per-tenant sustained ingest rate (records per simulated s)
+    admission_rate_records_s: float = 50_000.0
+    #: per-tenant burst allowance (bucket depth, records)
+    admission_burst_records: int = 10_000
+    #: (tenant, rate) overrides for specific tenants
+    admission_tenant_rates: tuple[tuple[str, float], ...] = ()
+    #: fraction of the burst reserved for control/movement traffic --
+    #: telemetry may not drain the bucket below this floor
+    admission_control_reserve_fraction: float = 0.1
+    #: dead letters kept in the bounded ring store (0 disables the store;
+    #: dead letters are then only counted, the legacy behaviour)
+    dead_letter_capacity: int = 0
+    #: JSONL path the dead-letter ring persists to (None = memory only)
+    dead_letter_path: str | None = None
     #: consecutive failed moves toward one device before the circuit
     #: breaker quarantines it from new placements
     quarantine_threshold: int = 3
@@ -226,6 +259,52 @@ class GeomancyConfig:
         if self.retry_backoff_s <= 0:
             raise ConfigurationError(
                 f"retry_backoff_s must be positive, got {self.retry_backoff_s}"
+            )
+        if self.retry_backoff_max_s < self.retry_backoff_s:
+            raise ConfigurationError(
+                f"retry_backoff_max_s must be >= retry_backoff_s, "
+                f"got {self.retry_backoff_max_s} < {self.retry_backoff_s}"
+            )
+        if self.telemetry_queue_capacity < 0:
+            raise ConfigurationError(
+                f"telemetry_queue_capacity must be >= 0, "
+                f"got {self.telemetry_queue_capacity}"
+            )
+        if self.queue_shed_policy not in SHED_POLICIES:
+            raise ConfigurationError(
+                f"queue_shed_policy must be one of {SHED_POLICIES}, "
+                f"got {self.queue_shed_policy!r}"
+            )
+        if self.admission_rate_records_s <= 0:
+            raise ConfigurationError(
+                f"admission_rate_records_s must be positive, "
+                f"got {self.admission_rate_records_s}"
+            )
+        if self.admission_burst_records < 1:
+            raise ConfigurationError(
+                f"admission_burst_records must be >= 1, "
+                f"got {self.admission_burst_records}"
+            )
+        # Checkpoint round trips deserialize tuples as lists; normalize
+        # before validating the tenant overrides.
+        self.admission_tenant_rates = tuple(
+            (str(tenant), float(rate))
+            for tenant, rate in self.admission_tenant_rates
+        )
+        if any(rate <= 0 for _, rate in self.admission_tenant_rates):
+            raise ConfigurationError(
+                f"admission_tenant_rates must all be positive, "
+                f"got {self.admission_tenant_rates}"
+            )
+        if not 0.0 <= self.admission_control_reserve_fraction < 1.0:
+            raise ConfigurationError(
+                f"admission_control_reserve_fraction must be in [0, 1), "
+                f"got {self.admission_control_reserve_fraction}"
+            )
+        if self.dead_letter_capacity < 0:
+            raise ConfigurationError(
+                f"dead_letter_capacity must be >= 0, "
+                f"got {self.dead_letter_capacity}"
             )
         if self.quarantine_threshold < 1:
             raise ConfigurationError(

@@ -38,8 +38,10 @@ class ChaosTransport(InMemoryTransport):
         reorder_rate: float = 0.0,
         corrupt_rate: float = 0.0,
         seed: int = 0,
+        maxsize: int | None = None,
+        policy: str = "drop-oldest",
     ) -> None:
-        super().__init__(latency_s)
+        super().__init__(latency_s, maxsize=maxsize, policy=policy)
         for name, rate in (
             ("drop_rate", drop_rate),
             ("delay_rate", delay_rate),
@@ -61,14 +63,19 @@ class ChaosTransport(InMemoryTransport):
         self.reordered_drains = 0
         self.corrupted = 0
 
-    def send(self, message) -> None:
-        """Send, possibly losing/mangling the message on the way."""
+    def send(self, message) -> bool:
+        """Send, possibly losing/mangling the message on the way.
+
+        Returns ``False`` only when a bounded queue refused the message
+        (backpressure); chaos drops are silent network loss, so the
+        sender still sees ``True`` for them.
+        """
         # The network charged for the message whether or not it arrives.
         self.messages_sent += 1
         self.total_latency_s += self.latency_s
         if self._rng.random() < self.drop_rate:
             self.dropped += 1
-            return
+            return True
         if self._rng.random() < self.corrupt_rate:
             self.corrupted += 1
             message = CorruptMessage()
@@ -76,8 +83,11 @@ class ChaosTransport(InMemoryTransport):
             # Held back past the next drain, then queued for the one after.
             self.delayed += 1
             self._held.append(message)
-            return
-        self._queue.append(message)
+            return True
+        # A bounded chaos queue sheds like the base transport: even a
+        # lossy network must not let the receiver's backlog grow without
+        # limit.
+        return self._enqueue(message)
 
     def receive_all(self) -> list:
         """Drain pending messages, possibly out of order."""
@@ -87,7 +97,8 @@ class ChaosTransport(InMemoryTransport):
             drained = [drained[i] for i in order]
             self.reordered_drains += 1
         while self._held:
-            self._queue.append(self._held.popleft())
+            # Released messages re-enter through the bounding policy too.
+            self._enqueue(self._held.popleft())
         return drained
 
     @property

@@ -183,3 +183,50 @@ class TestHealthIntegration:
         control = ControlAgent(cluster, health=health)
         control.execute(LayoutCommand({1: "b"}, issued_at=0.0))
         assert health.successes == 1
+
+
+class TestBackoffJitter:
+    def test_backoff_is_capped(self):
+        cluster = make_cluster()
+        control = ControlAgent(
+            cluster, max_move_retries=20, retry_backoff_s=4.0,
+            retry_backoff_max_s=10.0,
+        )
+        assert control._backoff(1, 1) == pytest.approx(4.0)
+        assert control._backoff(1, 2) == pytest.approx(8.0)
+        assert control._backoff(1, 3) == pytest.approx(10.0)
+        assert control._backoff(1, 15) == pytest.approx(10.0)
+
+    def test_cap_below_base_rejected(self):
+        with pytest.raises(AgentError):
+            ControlAgent(
+                make_cluster(), retry_backoff_s=5.0, retry_backoff_max_s=1.0
+            )
+
+    def test_jitter_off_by_default_and_deterministic(self):
+        control = ControlAgent(make_cluster(), retry_backoff_s=4.0)
+        assert control.retry_jitter is False
+        assert control._backoff(7, 2) == pytest.approx(8.0)
+
+    def test_jitter_spreads_within_the_window(self):
+        control = ControlAgent(
+            make_cluster(), retry_backoff_s=4.0, retry_jitter=True, seed=1
+        )
+        delays = [control._backoff(fid, 2) for fid in range(50)]
+        assert all(0.0 < d <= 8.0 for d in delays)
+        # Full jitter actually spreads: distinct files, distinct delays.
+        assert len({round(d, 9) for d in delays}) > 40
+
+    def test_jitter_is_a_pure_function_of_seed_fid_attempt(self):
+        a = ControlAgent(
+            make_cluster(), retry_backoff_s=4.0, retry_jitter=True, seed=3
+        )
+        b = ControlAgent(
+            make_cluster(), retry_backoff_s=4.0, retry_jitter=True, seed=3
+        )
+        c = ControlAgent(
+            make_cluster(), retry_backoff_s=4.0, retry_jitter=True, seed=4
+        )
+        assert a._backoff(1, 1) == b._backoff(1, 1)
+        assert a._backoff(1, 1) != c._backoff(1, 1)
+        assert a._backoff(1, 1) != a._backoff(2, 1)

@@ -1,0 +1,111 @@
+"""Tests for the bounded dead-letter store and its requeue path."""
+
+import pytest
+
+from repro.agents.daemon import InterfaceDaemon
+from repro.agents.deadletter import DeadLetter, DeadLetterStore
+from repro.agents.messages import TelemetryBatch
+from repro.agents.transport import InMemoryTransport
+from repro.errors import AgentError
+from repro.replaydb.db import ReplayDB
+from repro.replaydb.records import AccessRecord
+
+
+def access(device="var", fid=1, t=10, extra=None):
+    return AccessRecord(
+        fid=fid, fsid=0, device=device, path="p", rb=1000, wb=0,
+        ots=t, otms=0, cts=t + 1, ctms=0, extra=extra or {},
+    )
+
+
+def batch(n=2, device="var", t=1.0, tenant="b2"):
+    return TelemetryBatch(
+        device=device,
+        records=tuple(access(device, fid=i) for i in range(n)),
+        sent_at=t,
+        tenant=tenant,
+    )
+
+
+class TestRing:
+    def test_bounded_ring_evicts_oldest(self):
+        store = DeadLetterStore(capacity=2)
+        for i in range(5):
+            store.add(f"reason {i}", f"junk {i}", at=float(i))
+        assert len(store) == 2
+        assert store.total == 5
+        assert store.evicted == 3
+        assert [letter.reason for letter in store.entries()] == [
+            "reason 3", "reason 4",
+        ]
+
+    def test_capacity_validated(self):
+        with pytest.raises(AgentError):
+            DeadLetterStore(capacity=0)
+
+    def test_telemetry_payload_round_trips(self):
+        store = DeadLetterStore()
+        original = batch()
+        letter = store.add("db rejected", original, at=3.0)
+        rebuilt = letter.to_batch()
+        assert rebuilt == original
+
+    def test_foreign_message_not_replayable(self):
+        store = DeadLetterStore()
+        letter = store.add("corrupt", object(), at=1.0)
+        assert letter.payload is None
+        assert store.replayable() == []
+        with pytest.raises(AgentError):
+            letter.to_batch()
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "dead.jsonl"
+        store = DeadLetterStore(capacity=3)
+        store.add("bad", batch(t=1.0), at=1.0)
+        store.add("corrupt", "junk", at=2.0)
+        store.save(path)
+        loaded = DeadLetterStore.load(path)
+        assert len(loaded) == 2
+        assert loaded.capacity == 3
+        assert loaded.total == 2
+        first = loaded.entries()[0]
+        assert first.to_batch() == batch(t=1.0)
+        assert loaded.entries()[1].payload is None
+
+    def test_auto_persist_on_add(self, tmp_path):
+        path = tmp_path / "dead.jsonl"
+        store = DeadLetterStore(capacity=2, path=path)
+        store.add("bad", batch(), at=1.0)
+        assert DeadLetterStore.load(path).total == 1
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(AgentError):
+            DeadLetterStore.load(tmp_path / "absent.jsonl")
+
+
+class TestRequeue:
+    def test_requeue_replays_through_daemon(self):
+        store = DeadLetterStore()
+        store.add("transient", batch(n=3, t=1.0), at=1.0)
+        store.add("corrupt", "junk", at=2.0)
+        transport = InMemoryTransport()
+        daemon = InterfaceDaemon(ReplayDB(), transport, InMemoryTransport())
+        assert store.requeue_into(transport) == 1
+        assert daemon.pump_telemetry() == 3
+        # The replayed letter is marked; a second requeue is a no-op.
+        assert store.requeue_into(transport) == 0
+
+    def test_requeue_respects_backpressure(self):
+        store = DeadLetterStore()
+        store.add("a", batch(t=1.0), at=1.0)
+        store.add("b", batch(t=2.0), at=2.0)
+        transport = InMemoryTransport(maxsize=1, policy="reject")
+        assert store.requeue_into(transport) == 1
+        # The refused letter stays replayable for a later attempt.
+        assert len(store.replayable()) == 1
+
+    def test_dict_round_trip(self):
+        letter = DeadLetter(reason="r", kind="str", at=1.5, summary="s")
+        assert DeadLetter.from_dict(letter.to_dict()) == letter

@@ -186,3 +186,63 @@ class TestGapScheduler:
             quick_config(require_skill=False),
         )
         assert geo.total_moves <= untuned.config.max_files_per_move
+
+
+class TestQosWiring:
+    def test_defaults_leave_legacy_plane_intact(self):
+        cluster = make_bluesky_cluster(seed=0)
+        files = belle2_file_population(seed=0)
+        geo = Geomancy(cluster, files, quick_config())
+        from repro.agents.transport import BoundedTransport, InMemoryTransport
+
+        assert type(geo.telemetry) is InMemoryTransport
+        assert geo.telemetry.maxsize is None
+        assert not isinstance(geo.telemetry, BoundedTransport)
+        assert geo.admission is None
+        assert geo.dead_letter_store is None
+        assert geo.daemon.admission is None
+
+    def test_qos_knobs_wire_through(self, tmp_path):
+        cluster = make_bluesky_cluster(seed=0)
+        files = belle2_file_population(seed=0)
+        geo = Geomancy(cluster, files, quick_config(
+            telemetry_queue_capacity=16,
+            queue_shed_policy="reject",
+            admission_enabled=True,
+            admission_rate_records_s=100.0,
+            admission_burst_records=20,
+            admission_tenant_rates=(("belle2", 50.0),),
+            dead_letter_capacity=8,
+            dead_letter_path=str(tmp_path / "dead.jsonl"),
+        ))
+        from repro.agents.transport import BoundedTransport
+
+        assert isinstance(geo.telemetry, BoundedTransport)
+        assert geo.telemetry.capacity == 16
+        assert geo.telemetry.policy == "reject"
+        assert geo.admission is not None
+        assert geo.admission.tenant_rates == {"belle2": 50.0}
+        assert geo.daemon.admission is geo.admission
+        assert geo.dead_letter_store is not None
+        assert geo.dead_letter_store.capacity == 8
+        assert geo.daemon.dead_letter_store is geo.dead_letter_store
+
+    def test_qos_off_runs_are_bit_identical(self):
+        def outcome():
+            cluster = make_bluesky_cluster(seed=0)
+            files = belle2_file_population(seed=0)
+            geo = Geomancy(cluster, files, quick_config())
+            geo.place_initial()
+            runner = WorkloadRunner(
+                cluster, Belle2Workload(files, seed=1), geo.db,
+            )
+            for i in range(6):
+                geo.observe_run(runner.run_once().records)
+                geo.after_run(i, float(i))
+            return (
+                cluster.layout(),
+                geo.db.access_count(),
+                geo.daemon.records_ingested,
+            )
+
+        assert outcome() == outcome()

@@ -1,0 +1,123 @@
+"""Tests for the saturation sweep (tiny scale)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.saturation import run_saturation
+from repro.experiments.spec import ExperimentScale
+
+TINY = ExperimentScale(
+    name="tiny",
+    warmup_accesses=1,
+    runs=6,
+    update_every=1,
+    training_rows=10,
+    epochs=1,
+    trace_rows=100,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_saturation(
+        scale=TINY, seed=0, multipliers=(0.5, 2.0),
+        service_rate_records_s=2_000.0, capacity=32,
+    )
+
+
+class TestSweep:
+    def test_every_cell_present(self, result):
+        assert {cell.plane for cell in result.cells} == {
+            "bounded", "unbounded",
+        }
+        assert result.multipliers == [0.5, 2.0]
+
+    def test_planes_see_identical_offered_load(self, result):
+        for m in result.multipliers:
+            assert (
+                result.cell("bounded", m).offered_records
+                == result.cell("unbounded", m).offered_records
+            )
+
+    def test_bounded_depth_never_exceeds_capacity(self, result):
+        for m in result.multipliers:
+            assert result.cell("bounded", m).peak_queue_depth <= 32
+
+    def test_overload_sheds_on_bounded_plane_only_at_pressure(self, result):
+        assert result.cell("bounded", 0.5).shed_records == 0
+        assert result.cell("bounded", 2.0).shed_records > 0
+
+    def test_unbounded_backlog_grows_past_capacity(self, result):
+        assert result.cell("unbounded", 2.0).peak_queue_depth > 32
+        assert result.cell("unbounded", 2.0).final_queue_depth > 0
+
+    def test_control_traffic_protected_on_bounded_plane(self, result):
+        bounded = result.cell("bounded", 2.0)
+        unbounded = result.cell("unbounded", 2.0)
+        assert bounded.control_delivery_fraction >= 0.99
+        assert bounded.control_p99_s < unbounded.control_p99_s
+
+    def test_acceptance_gates(self, result):
+        gates = result.acceptance()
+        assert gates["bounded_depth_within_capacity"]
+        assert gates["bounded_control_delivery_ok"]
+        assert gates["bounded_control_p99_ok"]
+        assert gates["unbounded_degrades"]
+
+    def test_records_conserved_on_bounded_plane(self, result):
+        for m in result.multipliers:
+            cell = result.cell("bounded", m)
+            assert (
+                cell.delivered_records + cell.shed_records
+                <= cell.offered_records
+            )
+            assert cell.delivered_records > 0
+
+    def test_deterministic(self):
+        a = run_saturation(
+            scale=TINY, seed=3, multipliers=(1.0,),
+            service_rate_records_s=1_000.0, capacity=16,
+        )
+        b = run_saturation(
+            scale=TINY, seed=3, multipliers=(1.0,),
+            service_rate_records_s=1_000.0, capacity=16,
+        )
+        assert a.to_dict() == b.to_dict()
+
+
+class TestChaos:
+    def test_chaos_run_survives_and_dead_letters(self):
+        result = run_saturation(
+            scale=TINY, seed=1, multipliers=(2.0,),
+            service_rate_records_s=2_000.0, capacity=32, chaos=True,
+        )
+        cell = result.cell("bounded", 2.0)
+        assert cell.peak_queue_depth <= 32
+        assert cell.control_delivery_fraction >= 0.99
+        assert any(c.dead_letters > 0 for c in result.cells)
+
+
+class TestSerialization:
+    def test_json_round_trip(self, result, tmp_path):
+        path = result.write_json(tmp_path / "sat.json")
+        data = json.loads(path.read_text())
+        assert data["capacity"] == 32
+        assert len(data["cells"]) == 4
+        assert "acceptance" in data
+
+    def test_to_text_renders(self, result):
+        text = result.to_text()
+        assert "Saturation sweep" in text
+        assert "graceful degradation" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_saturation(scale=TINY, multipliers=())
+        with pytest.raises(ConfigurationError):
+            run_saturation(scale=TINY, capacity=0)
+        with pytest.raises(ConfigurationError):
+            run_saturation(scale=TINY, policy="nope")
+        with pytest.raises(ConfigurationError):
+            run_saturation(scale=TINY, service_rate_records_s=-1.0)

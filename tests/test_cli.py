@@ -18,6 +18,7 @@ class TestParser:
             "fig5a", "fig5b", "table4", "fig6", "synth-trace", "testbed",
             "robustness", "chaos", "overhead", "model-selection", "bench",
             "recover", "resume", "run", "metrics", "trace",
+            "saturate", "deadletters",
         }
 
     def test_chaos_arguments_parse(self):
@@ -125,3 +126,59 @@ class TestExecution:
         out = capsys.readouterr().out
         for mount in ("USBtmp", "pic", "tmp", "file0", "var", "people"):
             assert mount in out
+
+
+class TestSaturateCommand:
+    def test_saturate_arguments_parse(self):
+        args = build_parser().parse_args([
+            "saturate", "--multipliers", "1", "3",
+            "--capacity", "16", "--policy", "reject",
+            "--service-rate", "500", "--chaos", "--out", "sat.json",
+        ])
+        assert args.multipliers == [1.0, 3.0]
+        assert args.capacity == 16
+        assert args.policy == "reject"
+        assert args.chaos is True
+        assert args.out == "sat.json"
+
+    def test_saturate_defaults(self):
+        args = build_parser().parse_args(["saturate"])
+        assert args.multipliers == [0.5, 1.0, 2.0, 4.0]
+        assert args.capacity == 64
+        assert args.policy == "drop-oldest"
+        assert args.chaos is False
+
+
+class TestDeadlettersCommand:
+    def test_deadletters_requires_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["deadletters"])
+
+    def test_deadletters_inspects_and_requeues(self, tmp_path, capsys):
+        from repro.agents.deadletter import DeadLetterStore
+        from repro.agents.messages import TelemetryBatch
+        from repro.replaydb.records import AccessRecord
+
+        record = AccessRecord(
+            fid=1, fsid=0, device="var", path="p", rb=1000, wb=0,
+            ots=1, otms=0, cts=2, ctms=0,
+        )
+        store = DeadLetterStore(capacity=4)
+        store.add(
+            "db rejected",
+            TelemetryBatch(device="var", records=(record,), sent_at=1.0),
+            at=1.0,
+        )
+        store.add("corrupt", "junk", at=2.0)
+        path = tmp_path / "dead.jsonl"
+        store.save(path)
+
+        assert main(["deadletters", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 dead letters" in out
+
+        assert main(["deadletters", str(path), "--requeue"]) == 0
+        out = capsys.readouterr().out
+        assert "requeued 1 batches; 1 records re-ingested" in out
+        reloaded = DeadLetterStore.load(path)
+        assert reloaded.replayable() == []
