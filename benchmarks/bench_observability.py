@@ -11,6 +11,11 @@ identical code path.  Asserts the paper-level guarantees:
 * the Prometheus dump covers the whole stack (>= 6 subsystems);
 * wall-clock overhead stays within the 2% budget (DESIGN.md).
 
+The enabled arm now carries the whole PR 9 layer too -- causal tracing,
+the decision-provenance ledger (in memory, no JSONL path) and SLO
+burn-rate monitoring -- so the 2% budget gates the full observability
+stack, not just metrics/spans/events.
+
 The overhead estimate uses :func:`_timing.paired_overhead`; if a first
 cheap round lands over budget -- wall-clock noise on shared runners
 dwarfs the true sub-1% cost -- one escalation round re-measures with
@@ -39,7 +44,13 @@ REQUIRED_SUBSYSTEMS = {
 
 
 def _enabled():
-    return run_instrumented(scale=TEST_SCALE, seed=SEED)
+    return run_instrumented(
+        scale=TEST_SCALE,
+        seed=SEED,
+        causal_tracing_enabled=True,
+        provenance_enabled=True,
+        slo_enabled=True,
+    )
 
 
 def _disabled():
@@ -84,6 +95,8 @@ def _measure() -> dict:
         "bus_events": len(enabled.events),
         "disabled_spans": disabled.spans_recorded,
         "disabled_bus_events": len(disabled.events),
+        "slo_objectives": len(enabled.slo or []),
+        "disabled_slo": disabled.slo,
     }
 
 
@@ -110,4 +123,6 @@ def test_observability_overhead(benchmark, save_result):
     assert summary["outputs_identical"]
     assert REQUIRED_SUBSYSTEMS <= set(summary["subsystems"])
     assert summary["disabled_spans"] == 0
+    assert summary["slo_objectives"] == 3
+    assert summary["disabled_slo"] is None
     assert summary["overhead_percent"] <= OVERHEAD_BUDGET_PERCENT

@@ -17,7 +17,7 @@ quarantined upstream.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -256,6 +256,7 @@ class ControlAgent:
                     bytes_moved=exc.bytes_transferred,
                     duration=exc.duration,
                     succeeded=False,
+                    trace_id=command.trace_id,
                 )
                 records.append(failed)
                 t += exc.duration
@@ -283,6 +284,10 @@ class ControlAgent:
                 # Already in place; a stale retry resolves itself.
                 self._retries.pop(fid, None)
                 continue
+            if command.trace_id is not None:
+                # The cluster constructs the record; stamp the causing
+                # command's trace id onto it (legacy commands leave None).
+                move = replace(move, trace_id=command.trace_id)
             records.append(move)
             t += move.duration
             self.files_moved += 1

@@ -83,6 +83,28 @@ class InterfaceDaemon:
             "repro_agents_layout_commands_total",
             "layout commands forwarded to the control agents",
         )
+        #: drain time minus ``sent_at`` per ingested batch -- the queue +
+        #: transport delay the causal layer and the queue-delay SLO read
+        self.queue_delay_histogram = metrics.histogram(
+            "repro_agents_ingest_queue_delay_seconds",
+            "delay between a batch's sent_at and its drain into the DB",
+        )
+        #: optional :class:`~repro.observability.provenance.CausalContext`
+        #: (see :meth:`attach_causal`)
+        self.causal = None
+        #: cumulative ReplayDB access rows landed through this daemon,
+        #: tracked so each batch's rowid span is known without a DB query
+        self._rows_landed = 0
+
+    def attach_causal(self, causal) -> None:
+        """Resolve batch fates (with rowid spans) through ``causal``.
+
+        Must be attached before telemetry flows: the landed-row counter
+        is seeded from the DB's current count so rowid spans line up with
+        the write-behind buffer's arrival-order rowid assignment.
+        """
+        self.causal = causal
+        self._rows_landed = self.db.access_count()
 
     def _dead_letter(self, reason: str, message, at: float) -> None:
         self.dead_letters += 1
@@ -95,14 +117,22 @@ class InterfaceDaemon:
                 reason=reason, kind=type(message).__name__,
             )
 
-    def _ingest(self, message, now: float) -> int:
+    def _resolve(self, message, outcome: str, **fields) -> None:
+        if self.causal is not None:
+            self.causal.resolve(
+                getattr(message, "trace_id", None), outcome, **fields
+            )
+
+    def _ingest(self, message, now: float, drained_at: float | None = None) -> int:
         """Route one drained message; returns records stored from it."""
         if not isinstance(message, TelemetryBatch):
             self._dead_letter("non-telemetry message", message, now)
+            self._resolve(message, "dead-letter", drained_at=drained_at)
             logger.warning(
                 "dead-lettered non-telemetry message of type %s "
-                "on the telemetry transport",
+                "on the telemetry transport (trace %s)",
                 type(message).__name__,
+                getattr(message, "trace_id", None),
             )
             return 0
         if self.admission is not None:
@@ -114,6 +144,7 @@ class InterfaceDaemon:
                 self.batches_shed += 1
                 self.records_shed += len(message.records)
                 self._m_shed.inc(len(message.records))
+                self._resolve(message, "admission-shed", drained_at=drained_at)
                 if self.obs.enabled:
                     self.obs.emit(
                         "telemetry-shed", t=message.sent_at, step=0,
@@ -124,17 +155,39 @@ class InterfaceDaemon:
             self.db.insert_accesses(message.records)
         except ReplayDBError as exc:
             self._dead_letter(f"rejected by the ReplayDB: {exc}", message, now)
+            self._resolve(message, "dead-letter", drained_at=drained_at)
             logger.warning(
                 "dead-lettered telemetry batch of %d records "
-                "rejected by the ReplayDB: %s",
-                len(message.records), exc,
+                "rejected by the ReplayDB: %s (trace %s)",
+                len(message.records), exc, message.trace_id,
             )
             return 0
         self.batches_ingested += 1
         self._m_batches.inc()
-        return len(message.records)
+        stored = len(message.records)
+        if self.causal is not None:
+            # Write-behind rowids are assigned in arrival order, so the
+            # batch's span is the next `stored` rows after the last land.
+            lo = self._rows_landed + 1
+            self._rows_landed += stored
+            self.causal.resolve(
+                message.trace_id, "ingested",
+                drained_at=drained_at,
+                rowid_lo=lo, rowid_hi=self._rows_landed,
+            )
+        if drained_at is not None:
+            self.queue_delay_histogram.observe(
+                max(0.0, drained_at - message.sent_at)
+            )
+        return stored
 
-    def ingest(self, message, *, now: float | None = None) -> int:
+    def ingest(
+        self,
+        message,
+        *,
+        now: float | None = None,
+        drained_at: float | None = None,
+    ) -> int:
         """Route one already-received message; returns records stored.
 
         The seam for harnesses that drain a shared transport themselves
@@ -143,13 +196,17 @@ class InterfaceDaemon:
         single authority on admission, dead-lettering, and DB writes.
         """
         at = now if now is not None else _message_time(message)
-        stored = self._ingest(message, at)
+        stored = self._ingest(message, at, drained_at)
         self.records_ingested += stored
         self._m_records.inc(stored)
         return stored
 
     def pump_telemetry(
-        self, *, budget: int | None = None, now: float | None = None
+        self,
+        *,
+        budget: int | None = None,
+        now: float | None = None,
+        drained_at: float | None = None,
     ) -> int:
         """Drain pending telemetry batches into the ReplayDB.
 
@@ -163,26 +220,33 @@ class InterfaceDaemon:
         ``budget`` bounds the records ingested in this call (a daemon
         with finite service capacity); unserved messages stay queued for
         the next pump.  ``now`` is only used to timestamp dead letters
-        (defaults to each batch's ``sent_at``).
+        (defaults to each batch's ``sent_at``).  ``drained_at`` is the
+        simulated drain time the causal layer attributes queue delay
+        against (delay = ``drained_at - sent_at`` per batch); None skips
+        the attribution.
         """
         stored = 0
         with self.obs.span("replaydb_write"):
             if budget is None:
                 for message in self.telemetry.receive_all():
                     at = now if now is not None else _message_time(message)
-                    stored += self._ingest(message, at)
+                    stored += self._ingest(message, at, drained_at)
             else:
                 while self.telemetry.pending and stored < budget:
                     message = self.telemetry.receive()
                     at = now if now is not None else _message_time(message)
-                    stored += self._ingest(message, at)
+                    stored += self._ingest(message, at, drained_at)
         self.records_ingested += stored
         self._m_records.inc(stored)
         return stored
 
-    def send_layout(self, layout: dict[int, str], at: float) -> None:
+    def send_layout(
+        self, layout: dict[int, str], at: float, *, trace_id: str | None = None
+    ) -> None:
         """Forward a layout decision to the control agents."""
-        self.commands.send(LayoutCommand(layout=dict(layout), issued_at=at))
+        self.commands.send(
+            LayoutCommand(layout=dict(layout), issued_at=at, trace_id=trace_id)
+        )
         self._m_layouts.inc()
 
     def record_movements(self, moves: list[MovementRecord]) -> None:

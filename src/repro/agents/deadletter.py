@@ -59,6 +59,9 @@ class DeadLetter:
     payload: dict | None = None
     requeued: bool = False
     summary: str = ""
+    #: causal trace id of the dead-lettered message (None on a legacy
+    #: plane) -- joins ``repro deadletters`` output with ``repro explain``
+    trace_id: str | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -68,6 +71,7 @@ class DeadLetter:
             "payload": self.payload,
             "requeued": self.requeued,
             "summary": self.summary,
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -79,6 +83,7 @@ class DeadLetter:
             payload=raw.get("payload"),
             requeued=bool(raw.get("requeued", False)),
             summary=str(raw.get("summary", "")),
+            trace_id=raw.get("trace_id"),
         )
 
     def to_batch(self) -> TelemetryBatch:
@@ -94,6 +99,7 @@ class DeadLetter:
             ),
             sent_at=float(self.payload["sent_at"]),
             tenant=str(self.payload.get("tenant", "default")),
+            trace_id=self.trace_id,
         )
 
 
@@ -133,6 +139,7 @@ class DeadLetterStore:
         letter = DeadLetter(
             reason=reason, kind=type(message).__name__, at=float(at),
             payload=payload, summary=summary,
+            trace_id=getattr(message, "trace_id", None),
         )
         if len(self._ring) == self.capacity:
             self.evicted += 1

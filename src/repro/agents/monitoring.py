@@ -58,6 +58,13 @@ class MonitoringAgent:
         self._buffer: list[AccessRecord] = []
         #: down-sampled survivors of refused batches, oldest first
         self._backlog: list[AccessRecord] = []
+        #: optional :class:`~repro.observability.provenance.CausalContext`;
+        #: when attached, every batch is stamped with a trace id at
+        #: emission and refused batches resolve as ``shed-backpressure``
+        self.causal = None
+        #: batch id of the refused batch whose survivors ride next -- the
+        #: parent link that keeps coalesced telemetry attributable
+        self._backlog_parent: str | None = None
         self.observed = 0
         #: records dropped after a refusal (not even kept down-sampled)
         self.shed_records = 0
@@ -140,13 +147,24 @@ class MonitoringAgent:
         records = self._backlog + self._buffer
         self._backlog = []
         self._buffer.clear()
+        trace_id = None
+        if self.causal is not None:
+            trace_id = self.causal.stamp_batch(
+                self.device, self.tenant, len(records), at,
+                parent=self._backlog_parent,
+            )
+            self._backlog_parent = None
         batch = TelemetryBatch(
             device=self.device, records=tuple(records), sent_at=at,
-            tenant=self.tenant,
+            tenant=self.tenant, trace_id=trace_id,
         )
         if self.transport.send(batch) is False:
             self.sends_rejected += 1
             self._shed(records)
+            if self.causal is not None:
+                self.causal.resolve(trace_id, "shed-backpressure")
+                if self._backlog:
+                    self._backlog_parent = trace_id
             return False
         self._m_batches_sent.inc()
         return True

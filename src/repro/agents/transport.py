@@ -64,6 +64,15 @@ class InMemoryTransport:
         self.rejected = 0
         #: high-water mark of the pending queue
         self.peak_pending = 0
+        #: optional :class:`~repro.observability.provenance.CausalContext`;
+        #: when attached, messages this transport *evicts* have their
+        #: trace ids resolved as ``queue-shed`` (refused offers return
+        #: ``False`` and stay the sender's responsibility)
+        self.causal = None
+
+    def _resolve_causal(self, message, outcome: str) -> None:
+        if self.causal is not None:
+            self.causal.resolve(getattr(message, "trace_id", None), outcome)
 
     def _enqueue(self, message) -> bool:
         """Queue ``message``, shedding per policy when full.
@@ -74,8 +83,9 @@ class InMemoryTransport:
         """
         if self.maxsize is not None and len(self._queue) >= self.maxsize:
             if self.policy == "drop-oldest":
-                self._queue.popleft()
+                evicted = self._queue.popleft()
                 self.shed += 1
+                self._resolve_causal(evicted, "queue-shed")
             else:  # drop-newest / reject: the new message is refused
                 self.shed += 1
                 self.rejected += 1
@@ -165,9 +175,10 @@ class BoundedTransport(InMemoryTransport):
                 continue
             lane = self._lanes[priority]
             if lane:
-                lane.popleft()
+                evicted = lane.popleft()
                 self.shed += 1
                 self.shed_by_priority[priority] += 1
+                self._resolve_causal(evicted, "queue-shed")
                 return True
         return False
 

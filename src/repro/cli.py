@@ -19,6 +19,9 @@
     python -m repro recover ckpt/ --checkpoint-every 5 --guardrail
     python -m repro resume ckpt/          # restart a killed recover run
     python -m repro run --trace out.json --metrics-snapshot m.jsonl --profile
+    python -m repro run --provenance prov.jsonl --slo
+    python -m repro explain 3 --ledger prov.jsonl
+    python -m repro slo --throughput-floor 2.0
     python -m repro metrics               # Prometheus dump of a run
     python -m repro trace out.json        # Chrome-trace of a run
 
@@ -360,6 +363,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--migration-failure-rate", type=float, default=0.0,
         help="probability each file move aborts mid-transfer (default: 0)",
     )
+    run.add_argument(
+        "--provenance", default=None, metavar="PATH",
+        help="enable causal tracing and write the decision-provenance "
+             "ledger here (walk it with 'repro explain')",
+    )
+    run.add_argument(
+        "--slo", action="store_true",
+        help="evaluate the stock control-plane SLOs during the run and "
+             "append the burn-rate report",
+    )
+
+    explain = sub.add_parser(
+        "explain",
+        help="walk one applied movement back through its decision to the "
+             "telemetry batches that caused it",
+    )
+    explain.add_argument(
+        "movement_id", type=int,
+        help="movement rowid (1-based; see 'repro run --provenance')",
+    )
+    explain.add_argument(
+        "--ledger", default="provenance.jsonl", metavar="PATH",
+        help="provenance ledger a run wrote (default: provenance.jsonl)",
+    )
+
+    slo = sub.add_parser(
+        "slo",
+        help="run the control loop under SLO burn-rate monitoring and "
+             "print the final burn status",
+    )
+    _add_common(slo, default_seed=0)
+    slo.add_argument(
+        "--queue-delay-threshold", type=float, default=0.05, metavar="S",
+        help="telemetry queue-delay budget in simulated seconds "
+             "(default: 0.05)",
+    )
+    slo.add_argument(
+        "--throughput-floor", type=float, default=0.0, metavar="GBPS",
+        help="per-run mean throughput floor in GB/s (default: 0)",
+    )
 
     metrics = sub.add_parser(
         "metrics",
@@ -539,6 +582,7 @@ def _run_deadletters(args) -> str:
             i,
             f"{letter.at:.2f}",
             letter.kind,
+            letter.trace_id or "-",
             "yes" if letter.requeued else "no",
             letter.reason[:40],
             letter.summary[:48],
@@ -546,7 +590,7 @@ def _run_deadletters(args) -> str:
         for i, letter in enumerate(store.entries())
     ]
     text = ascii_table(
-        ["#", "at", "kind", "requeued", "reason", "summary"],
+        ["#", "at", "kind", "trace", "requeued", "reason", "summary"],
         rows,
         title=(
             f"{len(store)} dead letters (capacity {store.capacity}, "
@@ -608,10 +652,39 @@ def _run_resume(args) -> str:
     return resume_recoverable(args.checkpoint_dir).to_text()
 
 
+def _slo_text(statuses: list[dict]) -> str:
+    """Render SLO status dicts (from InstrumentedRunResult.slo)."""
+    lines = ["SLO burn status (final evaluation)"]
+    for status in statuses:
+        flag = "ALERT" if status["alerting"] else "ok"
+        lines.append(
+            f"  {status['name']:<28} target {status['target']:.3%}  "
+            f"compliance {status['compliance']:.3%}  [{flag}]"
+        )
+        for window_s, threshold, burn in status["burns"]:
+            marker = "!" if burn > threshold else " "
+            lines.append(
+                f"    {marker} window {window_s:>7.0f}s  "
+                f"burn {burn:6.2f}x  (alert above {threshold:.1f}x)"
+            )
+    if not statuses:
+        lines.append("  (no objectives evaluated)")
+    return "\n".join(lines)
+
+
 def _run_run(args) -> str:
     from repro.experiments.instrumented import run_instrumented
 
-    return run_instrumented(
+    overrides = {}
+    if args.provenance is not None:
+        overrides.update(
+            causal_tracing_enabled=True,
+            provenance_enabled=True,
+            provenance_path=args.provenance,
+        )
+    if args.slo:
+        overrides["slo_enabled"] = True
+    result = run_instrumented(
         scale=_SCALES[args.scale],
         seed=args.seed,
         metrics_path=args.metrics,
@@ -623,7 +696,31 @@ def _run_run(args) -> str:
         migration_failure_rate=args.migration_failure_rate,
         trace_sample_rate=args.sample_rate,
         online_learning=args.online,
-    ).to_text(profile_top=args.profile_top)
+        **overrides,
+    )
+    text = result.to_text(profile_top=args.profile_top)
+    if result.slo is not None:
+        text += "\n\n" + _slo_text(result.slo)
+    return text
+
+
+def _run_explain(args) -> str:
+    from repro.observability.provenance import ProvenanceLedger
+
+    return ProvenanceLedger.load(args.ledger).explain_text(args.movement_id)
+
+
+def _run_slo(args) -> str:
+    from repro.experiments.instrumented import run_instrumented
+
+    result = run_instrumented(
+        scale=_SCALES[args.scale],
+        seed=args.seed,
+        slo_enabled=True,
+        slo_queue_delay_threshold_s=args.queue_delay_threshold,
+        slo_throughput_floor_gbps=args.throughput_floor,
+    )
+    return _slo_text(result.slo or [])
 
 
 def _run_metrics(args) -> str:
@@ -689,6 +786,8 @@ _COMMANDS = {
     "testbed": _run_testbed,
     "synth-trace": _run_synth_trace,
     "run": _run_run,
+    "explain": _run_explain,
+    "slo": _run_slo,
     "metrics": _run_metrics,
     "trace": _run_trace,
 }

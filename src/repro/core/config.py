@@ -191,6 +191,34 @@ class GeomancyConfig:
     #: Chrome-trace JSON path the instrumented harness exports spans to
     #: (None disables the export)
     trace_path: str | None = None
+    #: -- causal tracing / provenance / SLOs (PR 9) ------------------------
+    #: stamp trace ids on telemetry batches, layout commands and movement
+    #: records and resolve every message's fate through a CausalContext;
+    #: off by default -- the legacy plane carries no ids at all
+    causal_tracing_enabled: bool = False
+    #: record per-decision provenance (training window rowids, feature
+    #: digest, per-candidate predictions, chosen layout, movement ids);
+    #: requires causal_tracing_enabled for the movement -> decision join
+    provenance_enabled: bool = False
+    #: JSONL flight-recorder path for the provenance ledger (None keeps
+    #: the ledger in memory only)
+    provenance_path: str | None = None
+    #: in-memory entries the ledger retains per store (oldest evicted)
+    provenance_max_entries: int = 4096
+    #: bytes after which the provenance JSONL rotates to <path>.1
+    provenance_rotate_bytes: int = 4_000_000
+    #: evaluate control-plane SLOs (delivery ratio, queue-delay, throughput
+    #: floor) with multi-window burn-rate alerting on the event bus
+    slo_enabled: bool = False
+    #: queue delay (seconds) above which a drained batch burns the
+    #: queue-delay SLO's error budget
+    slo_queue_delay_threshold_s: float = 0.05
+    #: measured-run throughput (GB/s) below which the throughput-floor
+    #: SLO's budget burns (0 = any positive throughput is good)
+    slo_throughput_floor_gbps: float = 0.0
+    #: route sustained SLO burn alerts into the guardrail as external
+    #: trips (requires a guardrail-carrying harness and slo_enabled)
+    slo_arm_guardrail: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -431,6 +459,35 @@ class GeomancyConfig:
             raise ConfigurationError(
                 f"histogram_buckets must be strictly increasing, "
                 f"got {self.histogram_buckets}"
+            )
+        if self.provenance_max_entries < 1:
+            raise ConfigurationError(
+                f"provenance_max_entries must be >= 1, "
+                f"got {self.provenance_max_entries}"
+            )
+        if self.provenance_rotate_bytes < 4096:
+            raise ConfigurationError(
+                f"provenance_rotate_bytes must be >= 4096, "
+                f"got {self.provenance_rotate_bytes}"
+            )
+        if self.provenance_enabled and not self.causal_tracing_enabled:
+            raise ConfigurationError(
+                "provenance_enabled requires causal_tracing_enabled "
+                "(decisions join to telemetry through trace ids)"
+            )
+        if self.slo_queue_delay_threshold_s <= 0:
+            raise ConfigurationError(
+                f"slo_queue_delay_threshold_s must be positive, "
+                f"got {self.slo_queue_delay_threshold_s}"
+            )
+        if self.slo_throughput_floor_gbps < 0:
+            raise ConfigurationError(
+                f"slo_throughput_floor_gbps must be >= 0, "
+                f"got {self.slo_throughput_floor_gbps}"
+            )
+        if self.slo_arm_guardrail and not self.slo_enabled:
+            raise ConfigurationError(
+                "slo_arm_guardrail requires slo_enabled"
             )
         for spec in self.fault_schedule:
             # Raises ConfigurationError on a malformed entry.

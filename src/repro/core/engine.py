@@ -13,6 +13,7 @@ highest predicted throughput.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import asdict, dataclass
 
@@ -52,6 +53,13 @@ def _spearman(a: list[float], b: list[float]) -> float:
     if denom == 0.0:
         return 0.0
     return float((ra * rb).sum() / denom)
+
+
+def _digest(matrix: np.ndarray) -> str:
+    """Short content digest of a feature matrix, for provenance records."""
+    return hashlib.sha256(
+        np.ascontiguousarray(matrix).tobytes()
+    ).hexdigest()[:16]
 
 
 def _ordered_column_sum(matrix: np.ndarray) -> np.ndarray:
@@ -141,6 +149,17 @@ class DRLEngine:
         self.model = self._fresh_model()
         self.adjuster = PredictionAdjuster()
         self.last_report: TrainingReport | None = None
+        # -- decision provenance capture (off unless the causal layer asks) --
+        #: when True, each train/propose call records what it consumed:
+        #: the ReplayDB rowid window, a digest of the transformed feature
+        #: matrix, and every candidate's predicted throughput
+        self.capture_provenance = False
+        #: inclusive rowid span of the last training window
+        self.last_window: tuple[int, int] | None = None
+        #: short sha256 of the last transformed feature matrix
+        self.last_feature_digest: str | None = None
+        #: fid -> {fsid: predicted bytes/s} from the last propose_layout
+        self.last_candidates: dict[int, dict[int, float]] = {}
         #: mean predicted throughput (bytes/s) at the placements chosen by
         #: the most recent propose_layout call -- the "promise" the safe-mode
         #: guardrail compares realized throughput against
@@ -234,6 +253,8 @@ class DRLEngine:
                 self.pipeline.ensure_fitted(records)
                 x = self.pipeline.transform_features(records)
                 y = self.pipeline.transform_target(records)
+                if self.capture_provenance:
+                    self.last_feature_digest = _digest(x)
                 if self._recurrent:
                     x, y = make_windows(x, y, self.config.timesteps)
                 xt, yt, xv, yv, xs, ys = train_val_test_split(x, y)
@@ -300,6 +321,11 @@ class DRLEngine:
     def train(self, db: ReplayDB) -> TrainingReport:
         """Retrain on the most recent ``training_rows`` ReplayDB accesses."""
         records = db.recent_accesses(self.config.training_rows)
+        if self.capture_provenance and records:
+            # recent_accesses flushes the write-behind buffer, so the max
+            # rowid now names the newest record in the window.
+            hi = db.max_rowid()
+            self.last_window = (hi - len(records) + 1, hi)
         return self.train_on_records(records)
 
     # -- online continual learning ------------------------------------------
@@ -381,6 +407,8 @@ class DRLEngine:
                 # Nothing new arrived: the model is unchanged, the last
                 # report still describes it.
                 return self.last_report
+            if self.capture_provenance:
+                self.last_window = (ids[0], ids[-1])
             self._hwm = ids[-1]
             start = time.perf_counter()
             # -- prequential evaluation (predict before training) ----------
@@ -438,6 +466,8 @@ class DRLEngine:
             )
             x = self.pipeline.transform_features(records)
             y = self.pipeline.transform_target(records)
+            if self.capture_provenance:
+                self.last_feature_digest = _digest(x)
             epochs = self.config.online_epochs * (
                 self.config.drift_burst_multiplier if drift else 1
             )
@@ -762,6 +792,8 @@ class DRLEngine:
             layout: dict[int, str] = {}
             gains: dict[int, float] = {}
             chosen_scores: list[float] = []
+            if self.capture_provenance:
+                self.last_candidates = {}
             if raw is None:
                 self.last_predicted_mean = None
                 return layout, gains
@@ -787,6 +819,8 @@ class DRLEngine:
                 layout[fid] = device_by_fsid[best]
                 gains[fid] = gain
                 chosen_scores.append(scores[best])
+                if self.capture_provenance:
+                    self.last_candidates[fid] = scores
             self.last_predicted_mean = (
                 float(np.mean(chosen_scores)) if chosen_scores else None
             )

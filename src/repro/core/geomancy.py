@@ -30,6 +30,11 @@ from repro.core.scheduler import AccessGapScheduler, CooldownScheduler
 from repro.errors import AgentError, ConfigurationError
 from repro.faults.health import HealthTracker
 from repro.observability import Observability, get_observability
+from repro.observability.provenance import (
+    CausalContext,
+    DecisionProvenance,
+    ProvenanceLedger,
+)
 from repro.policies.static import EvenSpreadPolicy
 from repro.recovery.events import EventLog
 from repro.replaydb.db import ReplayDB
@@ -167,6 +172,32 @@ class Geomancy:
             AccessGapScheduler() if self.config.use_gap_scheduler else None
         )
         self.outcomes: list[StepOutcome] = []
+        #: optional guardrail a recovery harness may attach; decision
+        #: provenance records its mode when present
+        self.guardrail = None
+        # -- causal tracing + decision provenance (all off by default) ----
+        self.causal: CausalContext | None = None
+        self.ledger: ProvenanceLedger | None = None
+        self._decision_seq = 0
+        self._movement_rows = 0
+        if self.config.causal_tracing_enabled:
+            self.ledger = ProvenanceLedger(
+                self.config.provenance_path,
+                max_entries=self.config.provenance_max_entries,
+                rotate_bytes=self.config.provenance_rotate_bytes,
+            )
+            self.causal = CausalContext(self.ledger)
+            self.telemetry.causal = self.causal
+            self.commands.causal = self.causal
+            self.daemon.attach_causal(self.causal)
+            for monitor in self.monitors.values():
+                monitor.causal = self.causal
+            # Movements-table rowids are 1-based insert order; seed the
+            # counter so decision entries name real rowids even when the
+            # DB already holds movements (a resumed run).
+            self._movement_rows = len(self.db.movements())
+        if self.config.provenance_enabled:
+            self.engine.capture_provenance = True
         metrics = self.obs.metrics
         self._m_ticks = metrics.counter(
             "repro_engine_ticks_total", "control-loop consultations"
@@ -228,6 +259,7 @@ class Geomancy:
                     f"no monitoring agent for device {device!r}"
                 )
             monitor = MonitoringAgent(device, self.telemetry)
+            monitor.causal = self.causal
             self.monitors[device] = monitor
         return monitor
 
@@ -258,27 +290,40 @@ class Geomancy:
         )
 
     def flush_telemetry(self, at: float) -> int:
-        """Flush every agent's buffer and pump the daemon."""
+        """Flush every agent's buffer and pump the daemon.
+
+        ``at`` doubles as the drain time, so each batch's queue delay
+        (``at - sent_at``) lands in the daemon's delay histogram and in
+        the causal ledger.
+        """
         for monitor in self.monitors.values():
             monitor.flush(at=at)
-        return self.daemon.pump_telemetry()
+        return self.daemon.pump_telemetry(drained_at=at)
 
     # -- the decision loop -----------------------------------------------------
-    def _dispatch(self, layout: dict[int, str], t: float) -> list[MovementRecord]:
+    def _dispatch(
+        self, layout: dict[int, str], t: float, kind: str = "decision"
+    ) -> list[MovementRecord]:
         """Push a layout through the daemon/command path and execute it.
 
         With a journal attached the dispatch is a write-ahead
         transaction: the intent is durably logged before any file moves,
         the commit after every movement has settled, so a crash in
         between leaves a pending intent the recovery path rolls back.
+        On a causal plane the command is stamped with a trace id that
+        flows onto every resulting movement record, and the dispatch is
+        journaled in the provenance ledger as one decision entry.
         """
+        trace_id = (
+            self.causal.stamp_command() if self.causal is not None else None
+        )
         with self.obs.span("movement_dispatch", files=len(layout)):
             txn = (
                 self.journal.log_intent(layout, t=t)
                 if self.journal is not None
                 else None
             )
-            self.daemon.send_layout(layout, at=t)
+            self.daemon.send_layout(layout, at=t, trace_id=trace_id)
             command = self.commands.receive()
             if not isinstance(command, LayoutCommand):
                 raise AgentError(
@@ -288,6 +333,21 @@ class Geomancy:
             self.daemon.record_movements(movements)
             if txn is not None:
                 self.journal.log_commit(txn, movements, t=t)
+        movement_ids: list[int] = []
+        if self.causal is not None:
+            # record_movements is the only movements-table writer on this
+            # plane, so insert order names the rowids just written.
+            movement_ids = list(
+                range(
+                    self._movement_rows + 1,
+                    self._movement_rows + 1 + len(movements),
+                )
+            )
+            self._movement_rows += len(movements)
+        if self.config.provenance_enabled and trace_id is not None:
+            self._record_decision(
+                trace_id, kind, t, layout, movements, movement_ids
+            )
         succeeded = sum(1 for m in movements if m.succeeded)
         failed = len(movements) - succeeded
         self._m_moves_ok.inc(succeeded)
@@ -303,10 +363,57 @@ class Geomancy:
             )
         return movements
 
+    def _record_decision(
+        self,
+        trace_id: str,
+        kind: str,
+        t: float,
+        layout: dict[int, str],
+        movements: list[MovementRecord],
+        movement_ids: list[int],
+    ) -> None:
+        """Append one decision-epoch entry to the provenance ledger."""
+        self._decision_seq += 1
+        run_index = self.outcomes[-1].run_index if self.outcomes else 0
+        engine = self.engine
+        report = engine.last_report
+        entry = DecisionProvenance(
+            decision_id=f"d:{self._decision_seq}",
+            trace_id=trace_id,
+            kind=kind,
+            run_index=run_index,
+            t=t,
+            chosen={int(fid): str(dst) for fid, dst in layout.items()},
+            movement_ids=movement_ids,
+            guardrail_mode=(
+                self.guardrail.mode if self.guardrail is not None else None
+            ),
+            movement_duration_s=sum(m.duration for m in movements),
+        )
+        if kind == "decision":
+            # Rescue/retry dispatches are not model decisions: the
+            # engine's captured window/digest/candidates describe the
+            # *last* training epoch and would mislead there.
+            if engine.last_window is not None:
+                entry.window_lo, entry.window_hi = engine.last_window
+            entry.feature_digest = engine.last_feature_digest
+            entry.candidates = {
+                int(fid): dict(scores)
+                for fid, scores in engine.last_candidates.items()
+                if fid in layout
+            }
+            if report is not None:
+                entry.train_mode = report.mode
+                entry.train_seconds = report.train_seconds
+                entry.test_mare = report.test_mare
+                entry.skillful = report.skillful
+                entry.drift_detected = report.drift_detected
+        self.ledger.record_decision(entry)
+
     def _drive_retries(self, outcome: StepOutcome, t: float) -> None:
         """Give backed-off failed moves another chance this cycle."""
         if self.control.has_due_retries(t):
-            outcome.movements.extend(self._dispatch({}, t))
+            outcome.movements.extend(self._dispatch({}, t, kind="retry"))
 
     def _rescue_layout(self, available: list[str]) -> dict[int, str]:
         """Targets for files stranded on offline devices.
@@ -360,7 +467,7 @@ class Geomancy:
         rescue = self._rescue_layout(available)
         if rescue:
             with self.obs.span("rescue", files=len(rescue)):
-                rescued = self._dispatch(rescue, t)
+                rescued = self._dispatch(rescue, t, kind="rescue")
             outcome.movements.extend(rescued)
             outcome.rescued_files = sum(1 for m in rescued if m.succeeded)
             self._m_rescued.inc(outcome.rescued_files)

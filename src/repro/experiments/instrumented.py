@@ -47,6 +47,7 @@ from repro.observability.profiling import (
     profile_call,
     span_attribution,
 )
+from repro.observability.slo import ControlPlaneSLOFeed, SLOMonitor
 from repro.replaydb.db import ReplayDB
 from repro.replaydb.records import MovementRecord
 from repro.simulation.bluesky import make_bluesky_cluster
@@ -81,6 +82,8 @@ class InstrumentedRunResult:
     artifacts: dict[str, str] = field(default_factory=dict)
     profile: ProfileReport | None = None
     attribution: SpanAttribution | None = None
+    #: final SLO burn-rate statuses (None when SLO monitoring was off)
+    slo: list[dict] | None = None
 
     def movement_fingerprint(self) -> tuple:
         """Hashable history for bit-for-bit determinism comparisons."""
@@ -207,6 +210,20 @@ def _drive(
     while geo.db.access_count() < scale.warmup_accesses:
         geo.observe_run(list(runner.run_stream()))
 
+    slo_feed = None
+    if config.slo_enabled:
+        monitor = SLOMonitor(
+            ControlPlaneSLOFeed.default_specs(), bus=obs.bus
+        )
+        slo_feed = ControlPlaneSLOFeed(
+            monitor,
+            geo,
+            queue_delay_threshold_s=config.slo_queue_delay_threshold_s,
+            throughput_floor_gbps=config.slo_throughput_floor_gbps,
+        )
+        if config.slo_arm_guardrail and geo.guardrail is not None:
+            monitor.arm(geo.guardrail)
+
     injector = None
     if specs or migration_failure_rate:
         # Fault times in the specs are relative to the start of the
@@ -237,12 +254,23 @@ def _drive(
                     if injector is not None:
                         injector.advance(runner.clock.now)
                 with obs.span("telemetry_collect", records=len(records)):
+                    run_gbps: list[float] = []
                     for record in records:
-                        throughput.append(float(record.throughput_gbps))
+                        run_gbps.append(float(record.throughput_gbps))
+                        throughput.append(run_gbps[-1])
                         geo.observe(record)
                 with obs.span("telemetry_flush"):
                     geo.flush_telemetry(at=runner.clock.now)
                 geo.after_run(run_number, runner.clock.now)
+                if slo_feed is not None:
+                    now = runner.clock.now
+                    slo_feed.tick(now, run_index=run_number)
+                    slo_feed.observe_run(
+                        now,
+                        float(np.mean(run_gbps)) if run_gbps else 0.0,
+                        run_index=run_number,
+                    )
+                    slo_feed.monitor.evaluate(now, run_index=run_number)
             if (
                 metrics_snapshot_path is not None
                 and run_number % snapshot_every == 0
@@ -271,8 +299,13 @@ def _drive(
     if trace_path is not None:
         path = Path(trace_path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        obs.tracer.export_chrome(path)
+        # The provenance ledger contributes a causal track (batches and
+        # decisions as linked spans) alongside the tracer's own spans.
+        extra = geo.ledger.chrome_events() if geo.ledger is not None else None
+        obs.tracer.export_chrome(path, extra_events=extra)
         artifacts["trace"] = str(path)
+    if geo.ledger is not None and geo.ledger.path is not None:
+        artifacts["provenance"] = str(geo.ledger.path)
 
     layout = cluster.layout()
     return InstrumentedRunResult(
@@ -291,5 +324,13 @@ def _drive(
         profile=report,
         attribution=(
             span_attribution(obs.tracer) if obs.tracer.spans else None
+        ),
+        slo=(
+            [
+                status.to_dict()
+                for status in slo_feed.monitor.evaluate(runner.clock.now)
+            ]
+            if slo_feed is not None
+            else None
         ),
     )

@@ -355,7 +355,7 @@ def _run_cell(
     cell.final_queue_depth = transport.pending
     cell.telemetry_p50_s = tel_hist.quantile(0.50)
     cell.telemetry_p99_s = tel_hist.quantile(0.99)
-    cell.telemetry_p999_s = tel_hist.quantile(0.999)
+    cell.telemetry_p999_s = tel_hist.p999
     cell.control_p50_s = ctl_hist.quantile(0.50)
     cell.control_p99_s = ctl_hist.quantile(0.99)
     return cell

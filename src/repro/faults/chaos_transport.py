@@ -75,13 +75,21 @@ class ChaosTransport(InMemoryTransport):
         self.total_latency_s += self.latency_s
         if self._rng.random() < self.drop_rate:
             self.dropped += 1
+            self._resolve_causal(message, "chaos-drop")
             return True
         if self._rng.random() < self.corrupt_rate:
             self.corrupted += 1
+            # The original payload is gone; its causal chain ends here
+            # (the garbage the daemon receives carries no trace id).
+            self._resolve_causal(message, "chaos-corrupt")
             message = CorruptMessage()
         if self._rng.random() < self.delay_rate:
             # Held back past the next drain, then queued for the one after.
             self.delayed += 1
+            if self.causal is not None:
+                self.causal.note(
+                    getattr(message, "trace_id", None), "chaos-delay"
+                )
             self._held.append(message)
             return True
         # A bounded chaos queue sheds like the base transport: even a
@@ -98,7 +106,11 @@ class ChaosTransport(InMemoryTransport):
             self.reordered_drains += 1
         while self._held:
             # Released messages re-enter through the bounding policy too.
-            self._enqueue(self._held.popleft())
+            message = self._held.popleft()
+            if not self._enqueue(message):
+                # The bound refused the released message and there is no
+                # sender left to backpressure: its chain ends as a shed.
+                self._resolve_causal(message, "queue-shed")
         return drained
 
     @property

@@ -68,6 +68,10 @@ class Observability:
             enabled=self.enabled and trace_enabled,
             sample_rate=trace_sample_rate,
         )
+        self.tracer._drop_counter = self.metrics.counter(
+            "repro_trace_spans_dropped_total",
+            "spans discarded after the tracer hit its retention cap",
+        )
         # A disabled instance keeps no history: every default-constructed
         # EventLog bridges here, and the process-global default must not
         # accumulate events across runs.

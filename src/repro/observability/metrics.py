@@ -162,6 +162,10 @@ class Histogram:
         return self.quantile(0.99)
 
     @property
+    def p999(self) -> float:
+        return self.quantile(0.999)
+
+    @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
@@ -201,7 +205,7 @@ class _NullHistogram:
     def quantile(self, q: float) -> float:
         return 0.0
 
-    p50 = p95 = p99 = mean = 0.0
+    p50 = p95 = p99 = p999 = mean = 0.0
 
 
 NULL_COUNTER = _NullCounter()
@@ -322,6 +326,7 @@ class MetricsRegistry:
                     "p50": metric.p50,
                     "p95": metric.p95,
                     "p99": metric.p99,
+                    "p999": metric.p999,
                     "buckets": {
                         str(edge): count
                         for edge, count in zip(metric.buckets, metric.counts)

@@ -1,0 +1,670 @@
+"""Causal trace context and the decision provenance ledger.
+
+Two cooperating pieces turn the control plane's per-subsystem telemetry
+into one navigable causal chain:
+
+* :class:`CausalContext` stamps every
+  :class:`~repro.agents.messages.TelemetryBatch` and
+  :class:`~repro.agents.messages.LayoutCommand` with a lightweight trace
+  id at emission and records each message's *fate* -- delivered into the
+  ReplayDB (with the exact rowid span its records landed in), shed by a
+  bounded queue, refused by the admission controller, dead-lettered,
+  dropped or corrupted by a chaos transport, or coalesced into a
+  successor batch after sender-side backpressure.  Ids are deterministic
+  sequence counters (never RNG or wall-clock derived), so causal tracing
+  can never perturb a seeded experiment.
+
+* :class:`ProvenanceLedger` is the bounded, rotated JSONL flight
+  recorder.  Every resolved batch and every decision epoch (replay-window
+  rowid span, feature digest, per-candidate predicted throughputs, chosen
+  layout, drift/guardrail state, resulting movement ids) is appended as
+  one JSON line; when the file exceeds ``rotate_bytes`` it is rotated to
+  ``<path>.1`` so the recorder can run forever in bounded space.
+  :meth:`ProvenanceLedger.explain` walks the chain backward from a
+  movement id to the telemetry that caused it -- the ``repro explain``
+  CLI and the causal-integrity property tests are both built on it.
+
+Nothing here touches an RNG or the simulated clock: with the causal
+knobs off no id is ever stamped, and with them on the observed system's
+outputs are bit-for-bit identical (the observability benchmark gates
+this).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+#: outcome a batch carries between emission and resolution
+IN_FLIGHT = "in-flight"
+
+#: terminal fates a telemetry batch can meet
+BATCH_OUTCOMES = (
+    "ingested",            # records landed in the ReplayDB
+    "admission-shed",      # refused by the per-tenant token bucket
+    "dead-letter",         # malformed or rejected by the ReplayDB
+    "shed-backpressure",   # transport refused the send; survivors coalesce
+    "queue-shed",          # evicted from a full bounded queue
+    "chaos-drop",          # silent network loss (ChaosTransport)
+    "chaos-corrupt",       # mangled in transit; arrives as garbage
+)
+
+
+@dataclass
+class BatchProvenance:
+    """One telemetry batch's life, from emission to its terminal fate."""
+
+    batch_id: str
+    device: str
+    tenant: str
+    records: int
+    sent_at: float
+    #: batch id of the refused predecessor whose down-sampled survivors
+    #: ride in this batch (None for ordinary batches)
+    parent: str | None = None
+    outcome: str = IN_FLIGHT
+    #: when the daemon drained the batch off the transport (simulated s)
+    drained_at: float | None = None
+    #: inclusive ReplayDB rowid span the batch's records landed in
+    rowid_lo: int | None = None
+    rowid_hi: int | None = None
+    #: non-terminal events along the way (chaos delays, prior outcomes)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def queue_delay_s(self) -> float | None:
+        """Transport + queueing delay attributed from ``sent_at``."""
+        if self.drained_at is None:
+            return None
+        return max(0.0, self.drained_at - self.sent_at)
+
+    def covers_rowid(self, rowid: int) -> bool:
+        return (
+            self.rowid_lo is not None
+            and self.rowid_hi is not None
+            and self.rowid_lo <= rowid <= self.rowid_hi
+        )
+
+    def overlaps(self, lo: int, hi: int) -> bool:
+        """Whether the batch's rowid span intersects ``[lo, hi]``."""
+        return (
+            self.rowid_lo is not None
+            and self.rowid_hi is not None
+            and self.rowid_lo <= hi
+            and lo <= self.rowid_hi
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "batch",
+            "batch_id": self.batch_id,
+            "device": self.device,
+            "tenant": self.tenant,
+            "records": self.records,
+            "sent_at": self.sent_at,
+            "parent": self.parent,
+            "outcome": self.outcome,
+            "drained_at": self.drained_at,
+            "rowid_lo": self.rowid_lo,
+            "rowid_hi": self.rowid_hi,
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "BatchProvenance":
+        return cls(
+            batch_id=str(raw["batch_id"]),
+            device=str(raw["device"]),
+            tenant=str(raw.get("tenant", "default")),
+            records=int(raw["records"]),
+            sent_at=float(raw["sent_at"]),
+            parent=raw.get("parent"),
+            outcome=str(raw.get("outcome", IN_FLIGHT)),
+            drained_at=raw.get("drained_at"),
+            rowid_lo=raw.get("rowid_lo"),
+            rowid_hi=raw.get("rowid_hi"),
+            notes=list(raw.get("notes", [])),
+        )
+
+
+@dataclass
+class DecisionProvenance:
+    """One dispatched layout: what the engine saw and what it chose."""
+
+    decision_id: str
+    #: trace id stamped onto the LayoutCommand and its MovementRecords
+    trace_id: str
+    #: "decision" (model-proposed layout), "rescue", or "retry"
+    kind: str
+    run_index: int
+    t: float
+    #: inclusive ReplayDB rowid span the training window covered
+    window_lo: int | None = None
+    window_hi: int | None = None
+    #: short digest of the transformed feature matrix the engine fit on
+    feature_digest: str | None = None
+    #: fid -> {fsid: predicted throughput (bytes/s)} for every candidate
+    candidates: dict[int, dict[int, float]] = field(default_factory=dict)
+    #: the layout actually dispatched (fid -> device)
+    chosen: dict[int, str] = field(default_factory=dict)
+    #: movements-table rowids this dispatch produced, in insert order
+    movement_ids: list[int] = field(default_factory=list)
+    train_mode: str | None = None
+    train_seconds: float | None = None
+    test_mare: float | None = None
+    skillful: bool | None = None
+    drift_detected: bool | None = None
+    guardrail_mode: str | None = None
+    #: simulated seconds the dispatched movements took to apply
+    movement_duration_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "decision",
+            "decision_id": self.decision_id,
+            "trace_id": self.trace_id,
+            "kind": self.kind,
+            "run_index": self.run_index,
+            "t": self.t,
+            "window_lo": self.window_lo,
+            "window_hi": self.window_hi,
+            "feature_digest": self.feature_digest,
+            "candidates": {
+                str(fid): {str(fsid): score for fsid, score in scores.items()}
+                for fid, scores in self.candidates.items()
+            },
+            "chosen": {str(fid): dst for fid, dst in self.chosen.items()},
+            "movement_ids": list(self.movement_ids),
+            "train_mode": self.train_mode,
+            "train_seconds": self.train_seconds,
+            "test_mare": self.test_mare,
+            "skillful": self.skillful,
+            "drift_detected": self.drift_detected,
+            "guardrail_mode": self.guardrail_mode,
+            "movement_duration_s": self.movement_duration_s,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "DecisionProvenance":
+        return cls(
+            decision_id=str(raw["decision_id"]),
+            trace_id=str(raw["trace_id"]),
+            kind=str(raw["kind"]),
+            run_index=int(raw["run_index"]),
+            t=float(raw["t"]),
+            window_lo=raw.get("window_lo"),
+            window_hi=raw.get("window_hi"),
+            feature_digest=raw.get("feature_digest"),
+            candidates={
+                int(fid): {int(fsid): float(v) for fsid, v in scores.items()}
+                for fid, scores in raw.get("candidates", {}).items()
+            },
+            chosen={
+                int(fid): str(dst)
+                for fid, dst in raw.get("chosen", {}).items()
+            },
+            movement_ids=[int(m) for m in raw.get("movement_ids", [])],
+            train_mode=raw.get("train_mode"),
+            train_seconds=raw.get("train_seconds"),
+            test_mare=raw.get("test_mare"),
+            skillful=raw.get("skillful"),
+            drift_detected=raw.get("drift_detected"),
+            guardrail_mode=raw.get("guardrail_mode"),
+            movement_duration_s=float(raw.get("movement_duration_s", 0.0)),
+        )
+
+
+class ProvenanceLedger:
+    """Bounded in-memory chain store with a rotated JSONL flight recorder.
+
+    ``max_entries`` bounds each of the batch and decision stores (oldest
+    evicted first); ``path`` enables persistence, with the file rotated
+    to ``<path>.1`` once it exceeds ``rotate_bytes``.  Batches are
+    persisted when they *resolve* (reach a terminal outcome), decisions
+    when they are recorded; a batch resolved twice (dead-lettered, then
+    requeued and ingested) appends again and the latest line wins on
+    load.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike | None = None,
+        *,
+        max_entries: int = 4096,
+        rotate_bytes: int = 4_000_000,
+    ) -> None:
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        if rotate_bytes < 4096:
+            raise ConfigurationError(
+                f"rotate_bytes must be >= 4096, got {rotate_bytes}"
+            )
+        self.path = Path(path) if path is not None else None
+        self.max_entries = int(max_entries)
+        self.rotate_bytes = int(rotate_bytes)
+        self.batches: OrderedDict[str, BatchProvenance] = OrderedDict()
+        self.decisions: deque[DecisionProvenance] = deque(maxlen=max_entries)
+        #: movement id -> decision id, bounded alongside the decisions
+        self._movement_index: OrderedDict[int, str] = OrderedDict()
+        self.batches_evicted = 0
+        if self.path is not None and self.path.parent != Path(""):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self.batches) + len(self.decisions)
+
+    # -- recording -------------------------------------------------------
+    def record_batch(self, batch: BatchProvenance) -> None:
+        """Track a freshly stamped (still in-flight) batch."""
+        self.batches[batch.batch_id] = batch
+        while len(self.batches) > self.max_entries:
+            self.batches.popitem(last=False)
+            self.batches_evicted += 1
+
+    def persist_batch(self, batch: BatchProvenance) -> None:
+        """Append a resolved batch to the flight recorder."""
+        self._append(batch.to_dict())
+
+    def record_decision(self, decision: DecisionProvenance) -> None:
+        self.decisions.append(decision)
+        for movement_id in decision.movement_ids:
+            self._movement_index[movement_id] = decision.decision_id
+        while len(self._movement_index) > self.max_entries:
+            self._movement_index.popitem(last=False)
+        self._append(decision.to_dict())
+
+    def _append(self, obj: dict) -> None:
+        if self.path is None:
+            return
+        line = json.dumps(obj, sort_keys=True) + "\n"
+        try:
+            if (
+                self.path.exists()
+                and self.path.stat().st_size + len(line) > self.rotate_bytes
+            ):
+                self.path.replace(self.path.with_suffix(
+                    self.path.suffix + ".1"
+                ))
+        except OSError:
+            pass  # a failed rotation must not take down the control loop
+        with open(self.path, "a", encoding="utf-8") as sink:
+            sink.write(line)
+
+    # -- loading ---------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "ProvenanceLedger":
+        """Rebuild a ledger from its JSONL file (plus the ``.1`` rotation).
+
+        Loads *without* a path so explaining never appends to the file it
+        reads.  The in-memory bound is widened to hold everything the
+        recorder kept.
+        """
+        path = Path(path)
+        if not path.exists():
+            raise ConfigurationError(f"no provenance ledger at {path}")
+        lines: list[str] = []
+        rotated = path.with_suffix(path.suffix + ".1")
+        if rotated.exists():
+            lines.extend(rotated.read_text().splitlines())
+        lines.extend(path.read_text().splitlines())
+        ledger = cls(max_entries=max(4096, len(lines)))
+        for line in lines:
+            if not line.strip():
+                continue
+            raw = json.loads(line)
+            if raw.get("type") == "decision":
+                ledger.record_decision_loaded(DecisionProvenance.from_dict(raw))
+            else:
+                ledger.record_batch(BatchProvenance.from_dict(raw))
+        return ledger
+
+    def record_decision_loaded(self, decision: DecisionProvenance) -> None:
+        """Track a decision read back from disk (no re-append)."""
+        self.decisions.append(decision)
+        for movement_id in decision.movement_ids:
+            self._movement_index[movement_id] = decision.decision_id
+
+    # -- the walk --------------------------------------------------------
+    def decision_for_movement(self, movement_id: int) -> DecisionProvenance | None:
+        decision_id = self._movement_index.get(int(movement_id))
+        if decision_id is None:
+            return None
+        for decision in self.decisions:
+            if decision.decision_id == decision_id:
+                return decision
+        return None
+
+    def batches_for_window(self, lo: int, hi: int) -> list[BatchProvenance]:
+        """Ingested batches whose rowid span intersects ``[lo, hi]``."""
+        return [
+            batch for batch in self.batches.values() if batch.overlaps(lo, hi)
+        ]
+
+    def movement_ids(self) -> list[int]:
+        return sorted(self._movement_index)
+
+    def explain(self, movement_id: int) -> dict | None:
+        """The full causal chain behind one movement, or None.
+
+        Returns a dict with the decision, the telemetry batches whose
+        records fed its training window (with per-batch queue delays),
+        and a critical-path summary for the decision epoch.
+        """
+        decision = self.decision_for_movement(movement_id)
+        if decision is None:
+            return None
+        batches: list[BatchProvenance] = []
+        if decision.window_lo is not None and decision.window_hi is not None:
+            batches = self.batches_for_window(
+                decision.window_lo, decision.window_hi
+            )
+        delays = [
+            batch.queue_delay_s for batch in batches
+            if batch.queue_delay_s is not None
+        ]
+        return {
+            "movement_id": int(movement_id),
+            "decision": decision.to_dict(),
+            "batches": [batch.to_dict() for batch in batches],
+            "queue_delay": {
+                "batches": len(delays),
+                "max_s": max(delays) if delays else 0.0,
+                "mean_s": sum(delays) / len(delays) if delays else 0.0,
+            },
+            "critical_path": self.critical_path(decision, batches),
+        }
+
+    @staticmethod
+    def critical_path(
+        decision: DecisionProvenance, batches: list[BatchProvenance]
+    ) -> list[dict]:
+        """Stage timings along the telemetry -> movement chain."""
+        stages: list[dict] = []
+        delays = [
+            batch.queue_delay_s for batch in batches
+            if batch.queue_delay_s is not None
+        ]
+        if delays:
+            stages.append(
+                {"stage": "telemetry_queue", "seconds": max(delays)}
+            )
+        if decision.train_seconds is not None:
+            stages.append(
+                {"stage": "train", "seconds": decision.train_seconds}
+            )
+        stages.append(
+            {
+                "stage": "movement_apply",
+                "seconds": decision.movement_duration_s,
+            }
+        )
+        stages.append(
+            {
+                "stage": "total",
+                "seconds": sum(s["seconds"] for s in stages),
+            }
+        )
+        return stages
+
+    def explain_text(self, movement_id: int) -> str:
+        """Human-readable rendering of :meth:`explain`."""
+        chain = self.explain(movement_id)
+        if chain is None:
+            known = self.movement_ids()
+            span = f"{known[0]}..{known[-1]}" if known else "none"
+            return (
+                f"movement {movement_id}: no provenance recorded "
+                f"(known movement ids: {span})"
+            )
+        decision = chain["decision"]
+        lines = [
+            f"movement {movement_id} <- {decision['decision_id']} "
+            f"({decision['kind']}, run {decision['run_index']}, "
+            f"t={decision['t']:.2f}s, trace {decision['trace_id']})",
+        ]
+        if decision["window_lo"] is not None:
+            lines.append(
+                f"  training window: ReplayDB rows "
+                f"{decision['window_lo']}..{decision['window_hi']}"
+                + (
+                    f"  features sha256:{decision['feature_digest']}"
+                    if decision["feature_digest"] else ""
+                )
+            )
+        if decision["train_mode"] is not None:
+            lines.append(
+                f"  training: mode={decision['train_mode']} "
+                f"mare={decision['test_mare']:.1f}% "
+                f"skillful={decision['skillful']} "
+                f"drift={decision['drift_detected']}"
+                + (
+                    f" guardrail={decision['guardrail_mode']}"
+                    if decision["guardrail_mode"] else ""
+                )
+            )
+        for fid, dst in sorted(
+            decision["chosen"].items(), key=lambda kv: int(kv[0])
+        ):
+            scores = decision["candidates"].get(str(fid), {})
+            if scores:
+                ranked = ", ".join(
+                    f"fsid {fsid}: {score:.3e}"
+                    for fsid, score in sorted(
+                        scores.items(), key=lambda kv: -kv[1]
+                    )
+                )
+                lines.append(f"  file {fid} -> {dst}  [{ranked}]")
+            else:
+                lines.append(f"  file {fid} -> {dst}")
+        batches = chain["batches"]
+        lines.append(
+            f"  fed by {len(batches)} telemetry batches "
+            f"(queue delay mean {chain['queue_delay']['mean_s']:.3f}s, "
+            f"max {chain['queue_delay']['max_s']:.3f}s):"
+        )
+        for batch in batches:
+            delay = (
+                f"{batch['drained_at'] - batch['sent_at']:.3f}s"
+                if batch["drained_at"] is not None else "?"
+            )
+            parent = f" parent={batch['parent']}" if batch["parent"] else ""
+            lines.append(
+                f"    {batch['batch_id']}: {batch['records']} records "
+                f"from {batch['device']} rows "
+                f"{batch['rowid_lo']}..{batch['rowid_hi']} "
+                f"queue-delay {delay}{parent}"
+            )
+        lines.append("  critical path:")
+        for stage in chain["critical_path"]:
+            lines.append(
+                f"    {stage['stage']:<16} {stage['seconds']:.3f}s"
+            )
+        return "\n".join(lines)
+
+    # -- chrome export ---------------------------------------------------
+    def chrome_events(self) -> list[dict]:
+        """Causal spans for the Chrome-trace export (simulated time).
+
+        Batches render as complete events spanning ``sent_at`` to
+        ``drained_at`` on one track, decisions on another; args link the
+        chain (batch ids, parents, rowid spans, movement ids) so the
+        trace viewer can follow a movement back to its telemetry.
+        """
+        events: list[dict] = []
+        for batch in self.batches.values():
+            if batch.drained_at is None:
+                continue
+            events.append(
+                {
+                    "name": f"telemetry {batch.batch_id}",
+                    "cat": "causal",
+                    "ph": "X",
+                    "ts": round(batch.sent_at * 1e6, 3),
+                    "dur": round(
+                        max(0.0, batch.drained_at - batch.sent_at) * 1e6, 3
+                    ),
+                    "pid": 2,
+                    "tid": 1,
+                    "args": {
+                        "batch_id": batch.batch_id,
+                        "outcome": batch.outcome,
+                        "records": batch.records,
+                        "rowids": [batch.rowid_lo, batch.rowid_hi],
+                        "parent": batch.parent,
+                    },
+                }
+            )
+        for decision in self.decisions:
+            duration = (decision.train_seconds or 0.0) + (
+                decision.movement_duration_s
+            )
+            events.append(
+                {
+                    "name": f"{decision.kind} {decision.decision_id}",
+                    "cat": "causal",
+                    "ph": "X",
+                    "ts": round(decision.t * 1e6, 3),
+                    "dur": round(max(duration, 1e-6) * 1e6, 3),
+                    "pid": 2,
+                    "tid": 2,
+                    "args": {
+                        "decision_id": decision.decision_id,
+                        "trace_id": decision.trace_id,
+                        "window": [decision.window_lo, decision.window_hi],
+                        "movement_ids": list(decision.movement_ids),
+                        "files": len(decision.chosen),
+                    },
+                }
+            )
+        return events
+
+
+class CausalContext:
+    """Stamps trace ids at emission; records every message's fate.
+
+    One context serves a whole control plane: monitoring agents stamp
+    batches through it, transports report sheds/drops, the daemon
+    reports ingestion (with rowid spans and queue delay) and dead
+    letters, and Geomancy stamps layout commands.  All ids are
+    deterministic sequence counters.
+    """
+
+    def __init__(self, ledger: ProvenanceLedger | None = None) -> None:
+        self.ledger = ledger if ledger is not None else ProvenanceLedger()
+        self._batch_seq: dict[str, int] = {}
+        self._command_seq = 0
+        #: batches whose terminal outcome was recorded, by outcome kind
+        self.resolved: dict[str, int] = {}
+
+    # -- stamping --------------------------------------------------------
+    def stamp_batch(
+        self,
+        device: str,
+        tenant: str,
+        records: int,
+        sent_at: float,
+        *,
+        parent: str | None = None,
+    ) -> str:
+        """Mint a batch id and start tracking the batch's life."""
+        seq = self._batch_seq.get(device, 0) + 1
+        self._batch_seq[device] = seq
+        batch_id = f"b:{device}:{seq}"
+        self.ledger.record_batch(
+            BatchProvenance(
+                batch_id=batch_id,
+                device=device,
+                tenant=tenant,
+                records=int(records),
+                sent_at=float(sent_at),
+                parent=parent,
+            )
+        )
+        return batch_id
+
+    def stamp_command(self) -> str:
+        """Mint a trace id for one layout dispatch."""
+        self._command_seq += 1
+        return f"cmd:{self._command_seq}"
+
+    # -- resolution ------------------------------------------------------
+    def batch(self, trace_id: str | None) -> BatchProvenance | None:
+        if trace_id is None:
+            return None
+        return self.ledger.batches.get(trace_id)
+
+    def note(self, trace_id: str | None, note: str) -> None:
+        """Attach a non-terminal event (e.g. a chaos delay) to a batch."""
+        batch = self.batch(trace_id)
+        if batch is not None:
+            batch.notes.append(note)
+
+    def resolve(
+        self,
+        trace_id: str | None,
+        outcome: str,
+        *,
+        drained_at: float | None = None,
+        rowid_lo: int | None = None,
+        rowid_hi: int | None = None,
+    ) -> None:
+        """Record a batch's terminal fate (idempotent on unknown ids).
+
+        A batch resolved a second time (a dead letter later requeued and
+        ingested) keeps its history: the prior outcome moves into the
+        notes and the new one becomes terminal.
+        """
+        if outcome not in BATCH_OUTCOMES:
+            raise ConfigurationError(
+                f"outcome must be one of {BATCH_OUTCOMES}, got {outcome!r}"
+            )
+        batch = self.batch(trace_id)
+        if batch is None:
+            return
+        if batch.outcome != IN_FLIGHT:
+            batch.notes.append(f"previously:{batch.outcome}")
+        batch.outcome = outcome
+        if drained_at is not None:
+            batch.drained_at = float(drained_at)
+        if rowid_lo is not None:
+            batch.rowid_lo = int(rowid_lo)
+        if rowid_hi is not None:
+            batch.rowid_hi = int(rowid_hi)
+        self.resolved[outcome] = self.resolved.get(outcome, 0) + 1
+        self.ledger.persist_batch(batch)
+
+    # -- integrity -------------------------------------------------------
+    def in_flight(self) -> list[str]:
+        """Ids of batches with no terminal outcome yet."""
+        return [
+            batch_id
+            for batch_id, batch in self.ledger.batches.items()
+            if batch.outcome == IN_FLIGHT
+        ]
+
+    def orphaned_parents(self) -> list[str]:
+        """Parent ids referenced by surviving batches but never tracked.
+
+        Always empty for a correctly wired plane (the ledger records a
+        batch at stamp time, before any transport can shed it); the
+        causal-integrity property tests assert exactly that, including
+        under chaos transports.  Evicted ids do not count as orphans --
+        the bound is working as designed.
+        """
+        known = set(self.ledger.batches)
+        evicted_allowance = self.ledger.batches_evicted
+        orphans = []
+        for batch in self.ledger.batches.values():
+            if batch.parent is not None and batch.parent not in known:
+                if evicted_allowance > 0:
+                    evicted_allowance -= 1
+                    continue
+                orphans.append(batch.parent)
+        return orphans

@@ -1,0 +1,350 @@
+"""SLO objectives with multi-window burn-rate alerting.
+
+Objectives are defined over signals the control plane already exports --
+delivery counters on the transports, the daemon's queue-delay histogram,
+realized run throughput -- and evaluated Google-SRE style: an alert fires
+only when the *fast* window and the *slow* window both burn error budget
+faster than the objective allows.  The fast window makes the alert
+responsive; the slow window keeps one transient blip from paging.
+
+Everything runs on the simulated clock and plain counters: evaluating an
+objective never touches an RNG, so an SLO-monitored run is bit-for-bit
+identical to an unmonitored one.  Alerts are published as ``slo-alert``
+events on the :class:`~repro.observability.events.EventBus` (recoveries
+as ``slo-clear``), and :meth:`SLOMonitor.arm` optionally wires alerts to
+the PR 3 :class:`~repro.recovery.guardrail.Guardrail` so sustained
+control-plane degradation demotes the learned policy.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: default (fast, slow) evaluation windows, in simulated seconds, and the
+#: burn-rate each must exceed -- scaled-down analogues of the classic
+#: 1h/6h production pairing, sized for simulated control-plane time
+DEFAULT_WINDOWS: tuple[tuple[float, float], ...] = (
+    (60.0, 14.0),
+    (600.0, 6.0),
+)
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One objective: a target fraction of good events."""
+
+    name: str
+    #: fraction of events that must be good (e.g. 0.99 -> 1% budget)
+    target: float
+    description: str = ""
+    #: (window_seconds, burn_threshold) pairs; an alert requires every
+    #: window to burn faster than its threshold simultaneously
+    windows: tuple[tuple[float, float], ...] = DEFAULT_WINDOWS
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ConfigurationError(
+                f"SLO target must be in (0, 1), got {self.target}"
+            )
+        if not self.windows:
+            raise ConfigurationError("SLO needs at least one window")
+        for window_s, burn in self.windows:
+            if window_s <= 0:
+                raise ConfigurationError(
+                    f"SLO window must be positive, got {window_s}"
+                )
+            if burn <= 0:
+                raise ConfigurationError(
+                    f"burn threshold must be positive, got {burn}"
+                )
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.target
+
+
+class SLOTracker:
+    """Sliding-window good/bad event counts for one objective."""
+
+    def __init__(self, spec: SLOSpec, *, max_samples: int = 8192) -> None:
+        self.spec = spec
+        #: (t, good, bad) per recorded interval, oldest first
+        self.samples: deque[tuple[float, float, float]] = deque(
+            maxlen=max_samples
+        )
+        self.total_good = 0.0
+        self.total_bad = 0.0
+
+    def record(self, t: float, good: float, bad: float) -> None:
+        if good < 0 or bad < 0:
+            raise ConfigurationError(
+                f"good/bad counts must be >= 0, got {good}/{bad}"
+            )
+        if good == 0 and bad == 0:
+            return
+        self.samples.append((float(t), float(good), float(bad)))
+        self.total_good += good
+        self.total_bad += bad
+
+    def window_counts(self, window_s: float, now: float) -> tuple[float, float]:
+        """(good, bad) event totals within ``[now - window_s, now]``."""
+        cutoff = now - window_s
+        good = bad = 0.0
+        for t, g, b in reversed(self.samples):
+            if t < cutoff:
+                break
+            good += g
+            bad += b
+        return good, bad
+
+    def burn_rate(self, window_s: float, now: float) -> float:
+        """How many times faster than allowed the budget burns.
+
+        1.0 means the error budget is being consumed exactly at the rate
+        the objective permits; 0.0 means no bad events (or no events at
+        all) in the window.
+        """
+        good, bad = self.window_counts(window_s, now)
+        total = good + bad
+        if total == 0:
+            return 0.0
+        return (bad / total) / self.spec.error_budget
+
+    @property
+    def compliance(self) -> float:
+        """All-time good fraction (1.0 when nothing recorded)."""
+        total = self.total_good + self.total_bad
+        if total == 0:
+            return 1.0
+        return self.total_good / total
+
+
+@dataclass
+class SLOStatus:
+    """One objective's burn-rate evaluation at an instant."""
+
+    name: str
+    target: float
+    compliance: float
+    alerting: bool
+    #: (window_s, threshold, measured_burn) per configured window
+    burns: list[tuple[float, float, float]] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "target": self.target,
+            "compliance": self.compliance,
+            "alerting": self.alerting,
+            "burns": [list(b) for b in self.burns],
+        }
+
+
+class SLOMonitor:
+    """Evaluates a set of objectives and publishes burn alerts.
+
+    ``bus`` is an :class:`~repro.observability.events.EventBus` (or None
+    to stay silent); alerts dedup -- one ``slo-alert`` when an objective
+    starts burning, one ``slo-clear`` when it stops.
+    """
+
+    def __init__(self, specs: list[SLOSpec], *, bus=None) -> None:
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate SLO names in {names}")
+        self.trackers = {spec.name: SLOTracker(spec) for spec in specs}
+        self.bus = bus
+        self._alerting: set[str] = set()
+        self.alerts_fired = 0
+        #: ``(status) -> None`` hooks invoked on each new alert
+        self.on_alert: list = []
+
+    def record(self, name: str, t: float, good: float, bad: float) -> None:
+        tracker = self.trackers.get(name)
+        if tracker is None:
+            raise ConfigurationError(f"unknown SLO {name!r}")
+        tracker.record(t, good, bad)
+
+    def evaluate(self, now: float, *, run_index: int = 0) -> list[SLOStatus]:
+        """Evaluate every objective; publish alert/clear transitions."""
+        statuses = []
+        for name, tracker in self.trackers.items():
+            burns = [
+                (window_s, threshold, tracker.burn_rate(window_s, now))
+                for window_s, threshold in tracker.spec.windows
+            ]
+            alerting = all(burn > threshold for _, threshold, burn in burns)
+            status = SLOStatus(
+                name=name,
+                target=tracker.spec.target,
+                compliance=tracker.compliance,
+                alerting=alerting,
+                burns=burns,
+            )
+            statuses.append(status)
+            if alerting and name not in self._alerting:
+                self._alerting.add(name)
+                self.alerts_fired += 1
+                if self.bus is not None:
+                    self.bus.emit(
+                        "slo-alert", t=now, step=run_index,
+                        slo=name, target=tracker.spec.target,
+                        burns=[list(b) for b in burns],
+                    )
+                for hook in self.on_alert:
+                    hook(status)
+            elif not alerting and name in self._alerting:
+                self._alerting.discard(name)
+                if self.bus is not None:
+                    self.bus.emit(
+                        "slo-clear", t=now, step=run_index, slo=name,
+                    )
+        return statuses
+
+    @property
+    def alerting(self) -> set[str]:
+        return set(self._alerting)
+
+    def arm(self, guardrail) -> None:
+        """Route new alerts into the guardrail as external trips.
+
+        ``guardrail`` needs a ``trip_external(reason, run_index, t,
+        detail)`` method (see :class:`~repro.recovery.guardrail.Guardrail`);
+        sustained SLO burn then demotes the learned policy to its
+        fallback exactly like a training-health trip would.
+        """
+        def _hook(status: SLOStatus) -> None:
+            guardrail.trip_external(
+                f"slo-burn:{status.name}",
+                run_index=0,
+                t=max((b[0] for b in status.burns), default=0.0),
+                detail=status.to_dict(),
+            )
+
+        self.on_alert.append(_hook)
+
+    def render(self, now: float) -> str:
+        """ASCII burn-status report for the ``repro slo`` CLI."""
+        lines = [f"SLO status at t={now:.1f}s (simulated)"]
+        for status in self.evaluate(now):
+            flag = "ALERT" if status.alerting else "ok"
+            lines.append(
+                f"  {status.name:<28} target {status.target:.3%}  "
+                f"compliance {status.compliance:.3%}  [{flag}]"
+            )
+            for window_s, threshold, burn in status.burns:
+                marker = "!" if burn > threshold else " "
+                lines.append(
+                    f"    {marker} window {window_s:>7.0f}s  "
+                    f"burn {burn:6.2f}x  (alert above {threshold:.1f}x)"
+                )
+        return "\n".join(lines)
+
+
+def histogram_counts_above(histogram, threshold: float) -> tuple[int, int]:
+    """(at_or_below, above) observation counts around ``threshold``.
+
+    Works on :class:`~repro.observability.metrics.Histogram` bucket
+    counts (an observation in the bucket containing the threshold counts
+    as *at_or_below* -- the conservative reading); the shared null
+    histogram reports (0, 0).
+    """
+    total = getattr(histogram, "count", 0)
+    if not total:
+        return 0, 0
+    buckets = histogram.buckets
+    counts = histogram.counts
+    # counts[i] covers (buckets[i-1], buckets[i]]; the final slot is +Inf
+    idx = bisect_left(buckets, threshold)
+    below = sum(counts[: idx + 1])
+    return below, total - below
+
+
+class ControlPlaneSLOFeed:
+    """Feeds the stock control-plane objectives from a live Geomancy.
+
+    Three objectives over signals the plane already exports:
+
+    * ``control-delivery`` -- layout commands delivered vs shed/rejected
+      on the command transport;
+    * ``queue-delay`` -- telemetry batches drained within
+      ``queue_delay_threshold_s`` of ``sent_at`` (from the daemon's
+      ingest queue-delay histogram);
+    * ``throughput-floor`` -- measured runs at or above
+      ``throughput_floor_gbps``.
+
+    Counters are sampled as per-tick deltas so each interval is recorded
+    once, at its simulated timestamp.
+    """
+
+    def __init__(
+        self,
+        monitor: SLOMonitor,
+        geo,
+        *,
+        queue_delay_threshold_s: float = 0.05,
+        throughput_floor_gbps: float = 0.0,
+    ) -> None:
+        self.monitor = monitor
+        self.geo = geo
+        self.queue_delay_threshold_s = float(queue_delay_threshold_s)
+        self.throughput_floor_gbps = float(throughput_floor_gbps)
+        self._last_sent = 0
+        self._last_lost = 0
+        self._last_delay_below = 0
+        self._last_delay_above = 0
+
+    @staticmethod
+    def default_specs() -> list[SLOSpec]:
+        return [
+            SLOSpec(
+                "control-delivery",
+                target=0.99,
+                description="layout commands delivered, not shed",
+            ),
+            SLOSpec(
+                "queue-delay",
+                target=0.95,
+                description="telemetry drained within the delay budget",
+            ),
+            SLOSpec(
+                "throughput-floor",
+                target=0.90,
+                description="measured runs at or above the floor",
+            ),
+        ]
+
+    def tick(self, now: float, *, run_index: int = 0) -> None:
+        """Sample the plane's counters and record this tick's deltas."""
+        commands = self.geo.commands
+        sent = commands.messages_sent
+        lost = getattr(commands, "shed", 0) + getattr(commands, "rejected", 0)
+        d_sent, d_lost = sent - self._last_sent, lost - self._last_lost
+        self._last_sent, self._last_lost = sent, lost
+        # messages_sent counts successful sends; shed/rejected are the loss
+        self.monitor.record(
+            "control-delivery", now, good=d_sent, bad=d_lost
+        )
+
+        hist = self.geo.daemon.queue_delay_histogram
+        below, above = histogram_counts_above(
+            hist, self.queue_delay_threshold_s
+        )
+        self.monitor.record(
+            "queue-delay", now,
+            good=below - self._last_delay_below,
+            bad=above - self._last_delay_above,
+        )
+        self._last_delay_below, self._last_delay_above = below, above
+
+    def observe_run(self, now: float, gbps: float, *, run_index: int = 0) -> None:
+        """Record one measured run against the throughput floor."""
+        ok = gbps >= self.throughput_floor_gbps
+        self.monitor.record(
+            "throughput-floor", now,
+            good=1.0 if ok else 0.0, bad=0.0 if ok else 1.0,
+        )

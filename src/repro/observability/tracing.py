@@ -30,6 +30,10 @@ import os
 import time
 
 from repro.errors import ConfigurationError
+from repro.observability.logs import get_logger
+from repro.observability.metrics import NULL_COUNTER
+
+logger = get_logger("observability.tracing")
 
 #: hard cap on retained spans -- a runaway loop must not eat the heap
 MAX_SPANS = 200_000
@@ -106,6 +110,9 @@ class Tracer:
         self._in_unsampled_tick = False
         self.spans: list[dict] = []
         self.dropped = 0
+        #: wired to ``repro_trace_spans_dropped_total`` by the
+        #: Observability bundle; stays null for a bare tracer
+        self._drop_counter = NULL_COUNTER
 
     def __len__(self) -> int:
         return len(self.spans)
@@ -126,6 +133,13 @@ class Tracer:
     ) -> None:
         if len(self.spans) >= MAX_SPANS:
             self.dropped += 1
+            self._drop_counter.inc()
+            if self.dropped == 1:
+                logger.warning(
+                    "span cap of %d reached; further spans are dropped "
+                    "(counted in repro_trace_spans_dropped_total)",
+                    MAX_SPANS,
+                )
             return
         self.spans.append(
             {
@@ -192,8 +206,13 @@ class Tracer:
         return out
 
     # -- export ----------------------------------------------------------
-    def chrome_trace(self) -> dict:
-        """The Chrome-trace JSON object (``traceEvents`` complete events)."""
+    def chrome_trace(self, extra_events: list[dict] | None = None) -> dict:
+        """The Chrome-trace JSON object (``traceEvents`` complete events).
+
+        ``extra_events`` are appended verbatim -- the hook the causal
+        provenance layer uses to add its linked batch/decision track
+        (see :meth:`~repro.observability.provenance.ProvenanceLedger.chrome_events`).
+        """
         events = []
         for span in self.spans:
             args = dict(span["args"]) if span["args"] else {}
@@ -214,16 +233,22 @@ class Tracer:
                     "args": args,
                 }
             )
+        if extra_events:
+            events.extend(extra_events)
         return {
             "traceEvents": events,
             "displayTimeUnit": "ms",
             "otherData": {"dropped_spans": self.dropped},
         }
 
-    def export_chrome(self, path: str | os.PathLike) -> int:
+    def export_chrome(
+        self,
+        path: str | os.PathLike,
+        extra_events: list[dict] | None = None,
+    ) -> int:
         """Write :meth:`chrome_trace` to ``path``; returns the span count."""
         with open(path, "w", encoding="utf-8") as sink:
-            json.dump(self.chrome_trace(), sink)
+            json.dump(self.chrome_trace(extra_events), sink)
         return len(self.spans)
 
 

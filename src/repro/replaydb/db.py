@@ -63,7 +63,8 @@ CREATE TABLE IF NOT EXISTS movements (
     dst_device TEXT    NOT NULL,
     bytes_moved INTEGER NOT NULL,
     duration   REAL    NOT NULL,
-    succeeded  INTEGER NOT NULL DEFAULT 1
+    succeeded  INTEGER NOT NULL DEFAULT 1,
+    trace_id   TEXT
 );
 CREATE INDEX IF NOT EXISTS idx_movements_ts ON movements(timestamp);
 """
@@ -276,13 +277,14 @@ class ReplayDB:
         rows = [
             (
                 r.timestamp, r.fid, r.src_device, r.dst_device,
-                r.bytes_moved, r.duration, int(r.succeeded),
+                r.bytes_moved, r.duration, int(r.succeeded), r.trace_id,
             )
             for r in records
         ]
         self._conn.executemany(
             "INSERT INTO movements (timestamp, fid, src_device, dst_device, "
-            "bytes_moved, duration, succeeded) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            "bytes_moved, duration, succeeded, trace_id) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
             rows,
         )
         self._conn.commit()
@@ -292,11 +294,12 @@ class ReplayDB:
     def insert_movement(self, record: MovementRecord) -> int:
         cur = self._conn.execute(
             "INSERT INTO movements (timestamp, fid, src_device, dst_device, "
-            "bytes_moved, duration, succeeded) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            "bytes_moved, duration, succeeded, trace_id) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
             (
                 record.timestamp, record.fid, record.src_device,
                 record.dst_device, record.bytes_moved, record.duration,
-                int(record.succeeded),
+                int(record.succeeded), record.trace_id,
             ),
         )
         self._conn.commit()
@@ -630,11 +633,13 @@ class ReplayDB:
         where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
         rows = self._conn.execute(
             f"SELECT timestamp, fid, src_device, dst_device, bytes_moved, "
-            f"duration, succeeded FROM movements {where} ORDER BY id ASC",
+            f"duration, succeeded, trace_id FROM movements {where} "
+            f"ORDER BY id ASC",
             params,
         ).fetchall()
         return [
-            MovementRecord(*row[:6], succeeded=bool(row[6])) for row in rows
+            MovementRecord(*row[:6], succeeded=bool(row[6]), trace_id=row[7])
+            for row in rows
         ]
 
     def movement_clusters(self, gap: float = 1.0) -> list[tuple[float, int]]:

@@ -109,3 +109,27 @@ class TestRequeue:
     def test_dict_round_trip(self):
         letter = DeadLetter(reason="r", kind="str", at=1.5, summary="s")
         assert DeadLetter.from_dict(letter.to_dict()) == letter
+
+
+class TestTraceJoin:
+    def test_trace_id_is_captured_and_round_trips(self, tmp_path):
+        store = DeadLetterStore()
+        letter = store.add(
+            "transient",
+            TelemetryBatch(
+                device="var", records=(access(),), sent_at=1.0,
+                tenant="b2", trace_id="b:var:7",
+            ),
+            at=1.0,
+        )
+        assert letter.trace_id == "b:var:7"
+        path = store.save(tmp_path / "dead.jsonl")
+        loaded = DeadLetterStore.load(path)
+        assert loaded.entries()[0].trace_id == "b:var:7"
+        # A requeue rebuilds the batch with the same id, so the original
+        # chain picks up where it dead-lettered.
+        assert loaded.entries()[0].to_batch().trace_id == "b:var:7"
+
+    def test_foreign_messages_have_no_trace(self):
+        store = DeadLetterStore()
+        assert store.add("corrupt", "junk", at=2.0).trace_id is None

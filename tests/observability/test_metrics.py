@@ -70,6 +70,26 @@ class TestHistogram:
         hist.observe(99.0)
         assert hist.p99 == 0.1
 
+    def test_p999_tracks_the_extreme_tail(self):
+        hist = Histogram("repro_test_lat_seconds", buckets=(0.1, 1.0, 10.0))
+        for _ in range(99):
+            hist.observe(0.05)
+        hist.observe(5.0)
+        # One outlier in a hundred: p99 stays at the first bucket's edge
+        # while p999 climbs into the outlier's bucket.
+        assert hist.p99 <= 0.1
+        assert 1.0 <= hist.p999 <= 10.0
+        assert hist.p999 == hist.quantile(0.999)
+
+    def test_p999_in_snapshot(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "repro_test_lat_seconds", buckets=(0.1, 1.0)
+        )
+        hist.observe(0.05)
+        snap = registry.snapshot()
+        assert "p999" in snap["histograms"]["repro_test_lat_seconds"]
+
     def test_empty_histogram_quantile_is_zero(self):
         assert Histogram("repro_test_lat_seconds").p95 == 0.0
 
@@ -97,6 +117,7 @@ class TestDisabledRegistry:
         assert NULL_COUNTER.value == 0.0
         assert NULL_GAUGE.value == 0.0
         assert NULL_HISTOGRAM.p99 == 0.0
+        assert NULL_HISTOGRAM.p999 == 0.0
 
 
 class TestExport:

@@ -1,0 +1,188 @@
+"""Unit tests for SLO tracking, burn-rate alerting, and the plane feed."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability.events import EventBus
+from repro.observability.metrics import (
+    NULL_HISTOGRAM,
+    MetricsRegistry,
+)
+from repro.observability.slo import (
+    ControlPlaneSLOFeed,
+    SLOMonitor,
+    SLOSpec,
+    SLOTracker,
+    histogram_counts_above,
+)
+
+WINDOWS = ((10.0, 2.0), (100.0, 1.5))
+
+
+def spec(name="avail", target=0.9):
+    return SLOSpec(name, target=target, windows=WINDOWS)
+
+
+class TestSpec:
+    def test_error_budget(self):
+        assert spec(target=0.99).error_budget == pytest.approx(0.01)
+
+    @pytest.mark.parametrize("target", [0.0, 1.0, -1.0, 2.0])
+    def test_target_bounds(self, target):
+        with pytest.raises(ConfigurationError):
+            SLOSpec("x", target=target)
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            SLOSpec("x", target=0.9, windows=())
+        with pytest.raises(ConfigurationError):
+            SLOSpec("x", target=0.9, windows=((0.0, 1.0),))
+        with pytest.raises(ConfigurationError):
+            SLOSpec("x", target=0.9, windows=((10.0, 0.0),))
+
+
+class TestTracker:
+    def test_burn_rate_scales_by_budget(self):
+        tracker = SLOTracker(spec(target=0.9))  # 10% budget
+        tracker.record(1.0, good=8, bad=2)      # 20% bad -> 2x burn
+        assert tracker.burn_rate(10.0, 2.0) == pytest.approx(2.0)
+        assert tracker.compliance == pytest.approx(0.8)
+
+    def test_window_excludes_old_samples(self):
+        tracker = SLOTracker(spec())
+        tracker.record(0.0, good=0, bad=10)
+        tracker.record(50.0, good=10, bad=0)
+        assert tracker.burn_rate(10.0, 55.0) == 0.0
+        assert tracker.burn_rate(100.0, 55.0) == pytest.approx(5.0)
+
+    def test_empty_window_burns_nothing(self):
+        tracker = SLOTracker(spec())
+        assert tracker.burn_rate(10.0, 0.0) == 0.0
+        assert tracker.compliance == 1.0
+
+    def test_zero_sample_skipped_and_negative_rejected(self):
+        tracker = SLOTracker(spec())
+        tracker.record(1.0, good=0, bad=0)
+        assert len(tracker.samples) == 0
+        with pytest.raises(ConfigurationError):
+            tracker.record(1.0, good=-1, bad=0)
+
+
+class TestMonitor:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SLOMonitor([spec(), spec()])
+
+    def test_alert_requires_every_window_burning(self):
+        monitor = SLOMonitor([spec()])
+        # Burning fast recently but fine over the slow window: no alert.
+        monitor.record("avail", 50.0, good=100, bad=0)
+        monitor.record("avail", 99.0, good=0, bad=10)
+        (status,) = monitor.evaluate(100.0)
+        assert not status.alerting
+
+    def test_alert_and_clear_transitions_hit_the_bus_once(self):
+        bus = EventBus()
+        monitor = SLOMonitor([spec()], bus=bus)
+        monitor.record("avail", 99.0, good=0, bad=10)
+        monitor.evaluate(100.0, run_index=3)
+        monitor.evaluate(101.0, run_index=4)     # still burning: no re-alert
+        assert monitor.alerting == {"avail"}
+        assert monitor.alerts_fired == 1
+        monitor.record("avail", 150.0, good=1000, bad=0)
+        monitor.evaluate(250.0, run_index=5)     # both windows recovered
+        kinds = [event.kind for event in bus]
+        assert kinds == ["slo-alert", "slo-clear"]
+        alert = next(e for e in bus if e.kind == "slo-alert")
+        assert alert.detail["slo"] == "avail"
+        assert len(alert.detail["burns"]) == len(WINDOWS)
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SLOMonitor([spec()]).record("ghost", 0.0, good=1, bad=0)
+
+    def test_arm_routes_alerts_to_guardrail(self):
+        trips = []
+
+        class FakeGuardrail:
+            def trip_external(self, reason, *, run_index, t, detail):
+                trips.append((reason, detail["name"]))
+
+        monitor = SLOMonitor([spec()])
+        monitor.arm(FakeGuardrail())
+        monitor.record("avail", 99.0, good=0, bad=10)
+        monitor.evaluate(100.0)
+        assert trips == [("slo-burn:avail", "avail")]
+
+    def test_render_marks_burning_windows(self):
+        monitor = SLOMonitor([spec()])
+        monitor.record("avail", 99.0, good=0, bad=10)
+        text = monitor.render(100.0)
+        assert "avail" in text and "ALERT" in text and "!" in text
+
+
+class TestHistogramCountsAbove:
+    def test_splits_at_bucket_boundary(self):
+        hist = MetricsRegistry().histogram(
+            "repro_test_delay_seconds", buckets=(0.01, 0.05, 0.5)
+        )
+        for value in (0.001, 0.02, 0.2, 2.0):
+            hist.observe(value)
+        below, above = histogram_counts_above(hist, 0.05)
+        assert (below, above) == (2, 2)
+
+    def test_null_histogram_reports_nothing(self):
+        assert histogram_counts_above(NULL_HISTOGRAM, 0.05) == (0, 0)
+
+
+class TestControlPlaneFeed:
+    class _FakePlane:
+        """Just enough surface for the feed: commands + daemon histogram."""
+
+        def __init__(self, hist):
+            class _Commands:
+                messages_sent = 0
+                shed = 0
+                rejected = 0
+
+            class _Daemon:
+                queue_delay_histogram = hist
+
+            self.commands = _Commands()
+            self.daemon = _Daemon()
+
+    def _feed(self):
+        hist = MetricsRegistry().histogram(
+            "repro_agents_ingest_queue_delay_seconds",
+            buckets=(0.01, 0.05, 0.5),
+        )
+        monitor = SLOMonitor(ControlPlaneSLOFeed.default_specs())
+        geo = self._FakePlane(hist)
+        return ControlPlaneSLOFeed(
+            monitor, geo, queue_delay_threshold_s=0.05,
+            throughput_floor_gbps=1.0,
+        ), geo, hist
+
+    def test_tick_records_counter_deltas_once(self):
+        feed, geo, hist = self._feed()
+        geo.commands.messages_sent = 5
+        geo.commands.shed = 1
+        hist.observe(0.02)
+        hist.observe(0.2)
+        feed.tick(10.0)
+        feed.tick(11.0)   # no new activity: no double counting
+        delivery = feed.monitor.trackers["control-delivery"]
+        assert (delivery.total_good, delivery.total_bad) == (5, 1)
+        delay = feed.monitor.trackers["queue-delay"]
+        assert (delay.total_good, delay.total_bad) == (1, 1)
+
+    def test_observe_run_applies_floor(self):
+        feed, _, _ = self._feed()
+        feed.observe_run(1.0, 2.0)
+        feed.observe_run(2.0, 0.5)
+        floor = feed.monitor.trackers["throughput-floor"]
+        assert (floor.total_good, floor.total_bad) == (1, 1)
+
+    def test_default_specs_cover_the_three_objectives(self):
+        names = {s.name for s in ControlPlaneSLOFeed.default_specs()}
+        assert names == {"control-delivery", "queue-delay", "throughput-floor"}

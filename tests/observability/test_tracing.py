@@ -133,3 +133,45 @@ class TestChromeTrace:
         assert tracer.export_chrome(path) == 1
         loaded = json.loads(path.read_text())
         assert [e["name"] for e in loaded["traceEvents"]] == ["work"]
+
+
+class TestSpanCap:
+    def test_drops_are_counted_and_warned_once(self, monkeypatch, caplog):
+        import logging
+
+        monkeypatch.setattr(tracing, "MAX_SPANS", 2)
+        tracer = Tracer()
+
+        class _Counter:
+            value = 0.0
+
+            def inc(self, amount=1.0):
+                self.value += amount
+
+        tracer._drop_counter = _Counter()
+        with caplog.at_level(
+            logging.WARNING, logger="repro.observability.tracing"
+        ):
+            for _ in range(4):
+                with tracer.span("work"):
+                    pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 2
+        # The silent-drop satellite: the counter sees every drop, the log
+        # warns exactly once.
+        assert tracer._drop_counter.value == 2.0
+        warnings = [
+            r for r in caplog.records if "span cap" in r.getMessage()
+        ]
+        assert len(warnings) == 1
+        assert tracer.chrome_trace()["otherData"] == {"dropped_spans": 2}
+
+    def test_clear_resets_the_drop_count(self, monkeypatch):
+        monkeypatch.setattr(tracing, "MAX_SPANS", 1)
+        tracer = Tracer()
+        for _ in range(2):
+            with tracer.span("work"):
+                pass
+        assert tracer.dropped == 1
+        tracer.clear()
+        assert tracer.dropped == 0

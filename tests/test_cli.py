@@ -18,7 +18,7 @@ class TestParser:
             "fig5a", "fig5b", "table4", "fig6", "synth-trace", "testbed",
             "robustness", "chaos", "overhead", "model-selection", "bench",
             "recover", "resume", "run", "metrics", "trace",
-            "saturate", "deadletters",
+            "saturate", "deadletters", "explain", "slo",
         }
 
     def test_chaos_arguments_parse(self):
@@ -182,3 +182,90 @@ class TestDeadlettersCommand:
         assert "requeued 1 batches; 1 records re-ingested" in out
         reloaded = DeadLetterStore.load(path)
         assert reloaded.replayable() == []
+
+
+class TestProvenanceCommands:
+    def test_explain_arguments_parse(self):
+        args = build_parser().parse_args(
+            ["explain", "3", "--ledger", "prov.jsonl"]
+        )
+        assert args.movement_id == 3
+        assert args.ledger == "prov.jsonl"
+
+    def test_slo_arguments_parse(self):
+        args = build_parser().parse_args(
+            ["slo", "--queue-delay-threshold", "0.1",
+             "--throughput-floor", "2.0"]
+        )
+        assert args.queue_delay_threshold == 0.1
+        assert args.throughput_floor == 2.0
+
+    def test_run_provenance_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "--provenance", "prov.jsonl", "--slo"]
+        )
+        assert args.provenance == "prov.jsonl"
+        assert args.slo is True
+
+    def test_run_then_explain_walks_every_movement(self, tmp_path, capsys):
+        prov = tmp_path / "prov.jsonl"
+        assert main(["run", "--provenance", str(prov), "--slo"]) == 0
+        out = capsys.readouterr().out
+        assert "SLO burn status" in out
+        assert prov.exists()
+
+        from repro.observability.provenance import ProvenanceLedger
+
+        movement_ids = ProvenanceLedger.load(prov).movement_ids()
+        assert movement_ids
+        for movement_id in movement_ids:
+            assert main(
+                ["explain", str(movement_id), "--ledger", str(prov)]
+            ) == 0
+            out = capsys.readouterr().out
+            assert f"movement {movement_id} <-" in out
+            assert "critical path:" in out
+
+    def test_explain_unknown_movement_degrades_gracefully(
+        self, tmp_path, capsys
+    ):
+        from repro.observability.provenance import ProvenanceLedger
+
+        prov = tmp_path / "prov.jsonl"
+        ledger = ProvenanceLedger(prov)
+        ledger._append({"type": "batch", "batch_id": "b:var:1",
+                        "device": "var", "records": 1, "sent_at": 0.0})
+        assert main(["explain", "42", "--ledger", str(prov)]) == 0
+        assert "no provenance recorded" in capsys.readouterr().out
+
+    def test_slo_command_reports_objectives(self, capsys):
+        assert main(["slo"]) == 0
+        out = capsys.readouterr().out
+        assert "control-delivery" in out
+        assert "queue-delay" in out
+        assert "throughput-floor" in out
+
+    def test_deadletters_table_shows_trace_column(self, tmp_path, capsys):
+        from repro.agents.deadletter import DeadLetterStore
+        from repro.agents.messages import TelemetryBatch
+        from repro.replaydb.records import AccessRecord
+
+        record = AccessRecord(
+            fid=1, fsid=0, device="var", path="p", rb=1000, wb=0,
+            ots=1, otms=0, cts=2, ctms=0,
+        )
+        store = DeadLetterStore(capacity=2)
+        store.add(
+            "db rejected",
+            TelemetryBatch(
+                device="var", records=(record,), sent_at=1.0,
+                trace_id="b:var:9",
+            ),
+            at=1.0,
+        )
+        path = tmp_path / "dead.jsonl"
+        store.save(path)
+        assert main(["deadletters", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace" in out
+        assert "b:var:9" in out
