@@ -1,0 +1,37 @@
+"""Sharded scale-out acceptance benchmark.
+
+Three gates from the scale-out work: (1) ``shards=1`` is bit-for-bit
+identical to the legacy unsharded engine loop (fingerprint-checked
+against the raw-workload oracle), (2) 8 shards beat the unsharded agent
+by >= 4x on both the decision-epoch time and the combined
+decision+simulation epoch for the *same* workload, and (3) a sweep
+point at >= 10^3 devices x >= 10^5 files completes within the CI
+budget.  Writes ``BENCH_scale.json`` (including peak-RSS capture) to
+``benchmarks/out/`` so the scale trajectory is inspectable per PR.
+"""
+
+import pathlib
+
+from repro.experiments.scale import run_scale_benchmark
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def test_scale_out(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_scale_benchmark,
+        kwargs={"seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("scale", result.to_text())
+    result.write_json(OUT_DIR / "BENCH_scale.json")
+    assert result.identical_at_1_shard
+    assert result.decision_epoch_speedup >= 4.0
+    assert result.overall_speedup >= 4.0
+    big = [
+        point for point in result.sweep.results
+        if point.point.devices >= 1_000 and point.point.files >= 100_000
+    ]
+    assert big, "the >=10^3 devices x >=10^5 files sweep point is missing"
+    assert all(point.accesses > 0 for point in result.sweep.results)

@@ -38,13 +38,12 @@ class Priority(IntEnum):
     TELEMETRY = 2
 
 
-def classify(message) -> Priority:
-    """The priority class of a control-plane message.
+#: message type -> priority, filled lazily by :func:`classify`.  Lists
+#: and tuples are never cached -- their class depends on their contents.
+_CLASSIFY_CACHE: dict[type, Priority] = {}
 
-    Unknown message types (including corrupted garbage a chaos transport
-    delivers) rank with telemetry: they must never displace decision
-    traffic.
-    """
+
+def _classify_uncached(message) -> Priority:
     if isinstance(message, LayoutCommand):
         return Priority.CONTROL
     if isinstance(message, MovementRecord):
@@ -56,6 +55,24 @@ def classify(message) -> Priority:
     if isinstance(message, TelemetryBatch):
         return Priority.TELEMETRY
     return Priority.TELEMETRY
+
+
+def classify(message) -> Priority:
+    """The priority class of a control-plane message.
+
+    Unknown message types (including corrupted garbage a chaos transport
+    delivers) rank with telemetry: they must never displace decision
+    traffic.  The class of a non-container message is a pure function of
+    its type, so the isinstance ladder runs once per type ever seen and
+    the hot transport send path pays one dict lookup.
+    """
+    cached = _CLASSIFY_CACHE.get(type(message))
+    if cached is not None:
+        return cached
+    priority = _classify_uncached(message)
+    if not isinstance(message, (list, tuple)):
+        _CLASSIFY_CACHE[type(message)] = priority
+    return priority
 
 
 class TokenBucket:

@@ -151,6 +151,15 @@ class BoundedTransport(InMemoryTransport):
         self._lanes: dict[int, deque] = {
             int(priority): deque() for priority in Priority
         }
+        # Lane order is fixed at construction; resolving it per send
+        # (sorting the dict on every enqueue/evict/drain) showed up on
+        # the saturation harness profile, so precompute both walks and
+        # track the pending total as a counter instead of re-summing.
+        self._lane_order: tuple[int, ...] = tuple(sorted(self._lanes))
+        self._lane_order_desc: tuple[int, ...] = tuple(
+            reversed(self._lane_order)
+        )
+        self._pending_total = 0
         #: messages shed per priority class
         self.shed_by_priority: dict[int, int] = {
             int(priority): 0 for priority in Priority
@@ -161,7 +170,7 @@ class BoundedTransport(InMemoryTransport):
         return self.maxsize  # type: ignore[return-value]
 
     def _total(self) -> int:
-        return sum(len(lane) for lane in self._lanes.values())
+        return self._pending_total
 
     def _evict_lowest(self, below: int | None = None) -> bool:
         """Drop the oldest message of the lowest-priority non-empty lane.
@@ -170,12 +179,13 @@ class BoundedTransport(InMemoryTransport):
         (greater value) than the given class.  Returns whether a message
         was evicted.
         """
-        for priority in sorted(self._lanes, reverse=True):
+        for priority in self._lane_order_desc:
             if below is not None and priority <= below:
                 continue
             lane = self._lanes[priority]
             if lane:
                 evicted = lane.popleft()
+                self._pending_total -= 1
                 self.shed += 1
                 self.shed_by_priority[priority] += 1
                 self._resolve_causal(evicted, "queue-shed")
@@ -184,7 +194,7 @@ class BoundedTransport(InMemoryTransport):
 
     def _enqueue(self, message) -> bool:
         priority = int(classify(message))
-        if self._total() >= self.maxsize:
+        if self._pending_total >= self.maxsize:
             if self.policy == "drop-oldest":
                 if not self._evict_lowest():  # pragma: no cover - capacity>=1
                     return False
@@ -202,29 +212,31 @@ class BoundedTransport(InMemoryTransport):
                 self.shed_by_priority[priority] += 1
                 return False
         self._lanes[priority].append(message)
-        total = self._total()
-        if total > self.peak_pending:
-            self.peak_pending = total
+        self._pending_total += 1
+        if self._pending_total > self.peak_pending:
+            self.peak_pending = self._pending_total
         return True
 
     def receive(self):
-        for priority in sorted(self._lanes):
+        for priority in self._lane_order:
             lane = self._lanes[priority]
             if lane:
+                self._pending_total -= 1
                 return lane.popleft()
         raise AgentError("no pending messages")
 
     def receive_all(self) -> list:
         drained: list = []
-        for priority in sorted(self._lanes):
+        for priority in self._lane_order:
             lane = self._lanes[priority]
             drained.extend(lane)
             lane.clear()
+        self._pending_total = 0
         return drained
 
     @property
     def pending(self) -> int:
-        return self._total()
+        return self._pending_total
 
     def pending_by_priority(self) -> dict[int, int]:
         return {

@@ -15,6 +15,7 @@
     python -m repro deadletters dead.jsonl --requeue
     python -m repro synth-trace out.jsonl --rows 5000
     python -m repro bench --workers 4     # decision + harness benchmarks
+    python -m repro scale --devices 256 512 --files 4096 --shards 1 8
     python -m repro robustness --workers 4 --seeds 0 1 2 3
     python -m repro recover ckpt/ --checkpoint-every 5 --guardrail
     python -m repro resume ckpt/          # restart a killed recover run
@@ -183,6 +184,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-harness", action="store_true",
         help="skip the serial-vs-parallel experiment sweep and only run "
              "the decision micro-benchmark",
+    )
+
+    scale_cmd = sub.add_parser(
+        "scale",
+        help="sharded multi-agent scale-out sweep "
+             "(devices x files x shards grid)",
+    )
+    _add_workers(scale_cmd)
+    scale_cmd.add_argument(
+        "--seed", type=int, default=0,
+        help="environment seed (default: 0)",
+    )
+    scale_cmd.add_argument(
+        "--devices", type=int, nargs="+", default=[64],
+        help="cluster sizes to sweep (default: 64)",
+    )
+    scale_cmd.add_argument(
+        "--files", type=int, nargs="+", default=[1024],
+        help="file-population sizes to sweep (default: 1024)",
+    )
+    scale_cmd.add_argument(
+        "--shards", type=int, nargs="+", default=[1, 4],
+        help="shard counts to sweep (default: 1 4)",
+    )
+    scale_cmd.add_argument(
+        "--rounds", type=int, default=1,
+        help="fusion rounds per point, with coordinator arbitration "
+             "between consecutive rounds (default: 1)",
+    )
+    scale_cmd.add_argument(
+        "--runs", type=int, default=10,
+        help="measured workload runs per round (default: 10)",
+    )
+    scale_cmd.add_argument(
+        "--benchmark", action="store_true",
+        help="run the acceptance benchmark (identity check + 1-vs-8 "
+             "speedup pair + big sweep point) instead of the grid",
+    )
+    scale_cmd.add_argument(
+        "--out", default="benchmarks/out/BENCH_scale.json",
+        help="where to write the JSON record "
+             "(default: benchmarks/out/BENCH_scale.json)",
     )
 
     chaos = sub.add_parser(
@@ -533,6 +576,36 @@ def _run_bench(args) -> str:
     return result.to_text() + f"\nwrote {path}"
 
 
+def _run_scale(args) -> str:
+    from repro.experiments.scale import (
+        ScalePoint,
+        run_scale,
+        run_scale_benchmark,
+    )
+
+    if args.benchmark:
+        result = run_scale_benchmark(seed=args.seed, workers=args.workers)
+    else:
+        points = [
+            ScalePoint(
+                devices=devices,
+                files=files,
+                shards=shards,
+                seed=args.seed,
+                rounds=args.rounds,
+                runs=args.runs,
+                gates=False,
+            )
+            for devices in args.devices
+            for files in args.files
+            for shards in args.shards
+            if devices >= shards
+        ]
+        result = run_scale(points, workers=args.workers)
+    path = result.write_json(args.out)
+    return result.to_text() + f"\nwrote {path}"
+
+
 def _run_chaos(args) -> str:
     from repro.experiments.robustness import run_chaos
 
@@ -776,6 +849,7 @@ _COMMANDS = {
     "fig6": _run_fig6,
     "robustness": _run_robustness,
     "bench": _run_bench,
+    "scale": _run_scale,
     "chaos": _run_chaos,
     "saturate": _run_saturate,
     "deadletters": _run_deadletters,

@@ -160,6 +160,11 @@ class DRLEngine:
         self.last_feature_digest: str | None = None
         #: fid -> {fsid: predicted bytes/s} from the last propose_layout
         self.last_candidates: dict[int, dict[int, float]] = {}
+        #: fid -> predicted bytes/s at the placement the last propose call
+        #: chose.  Always captured (one float per probed file): the
+        #: sharding coordinator selects cross-shard export candidates from
+        #: it -- the files a shard serves worst even at their best device.
+        self.last_chosen_scores: dict[int, float] = {}
         #: mean predicted throughput (bytes/s) at the placements chosen by
         #: the most recent propose_layout call -- the "promise" the safe-mode
         #: guardrail compares realized throughput against
@@ -792,6 +797,7 @@ class DRLEngine:
             layout: dict[int, str] = {}
             gains: dict[int, float] = {}
             chosen_scores: list[float] = []
+            self.last_chosen_scores = {}
             if self.capture_provenance:
                 self.last_candidates = {}
             if raw is None:
@@ -819,6 +825,7 @@ class DRLEngine:
                 layout[fid] = device_by_fsid[best]
                 gains[fid] = gain
                 chosen_scores.append(scores[best])
+                self.last_chosen_scores[fid] = scores[best]
                 if self.capture_provenance:
                     self.last_candidates[fid] = scores
             self.last_predicted_mean = (
@@ -846,6 +853,7 @@ class DRLEngine:
         layout: dict[int, str] = {}
         gains: dict[int, float] = {}
         chosen_scores: list[float] = []
+        self.last_chosen_scores = {}
         for fid in fids:
             recent = db.recent_accesses(self.config.probe_samples, fid=fid)
             if not recent:
@@ -862,6 +870,7 @@ class DRLEngine:
             layout[fid] = device_by_fsid[best]
             gains[fid] = gain
             chosen_scores.append(scores[best])
+            self.last_chosen_scores[fid] = scores[best]
         self.last_predicted_mean = (
             float(np.mean(chosen_scores)) if chosen_scores else None
         )

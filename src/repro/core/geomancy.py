@@ -557,6 +557,24 @@ class Geomancy:
         outcome.movements.extend(self._dispatch(as_layout(changes), t))
         return outcome
 
+    def export_candidates(self, limit: int, *, shard: int = 0):
+        """The ``limit`` files this instance serves worst, for scale-out.
+
+        Reads the engine's chosen-placement scores from its most recent
+        proposal: the files with the lowest predicted throughput even at
+        their best local device are the ones a sharded deployment should
+        offer to a faster shard.  Returns
+        :class:`~repro.sharding.coordinator.ExportCandidate` tuples
+        stamped with ``shard`` (the caller's shard id); empty before the
+        first proposal.
+        """
+        from repro.sharding.coordinator import select_exports
+
+        sizes = {info.fid: info.size_bytes for info in self.cluster.files}
+        return select_exports(
+            self.engine.last_chosen_scores, sizes, shard=shard, limit=limit
+        )
+
     # -- reporting -----------------------------------------------------------
     @property
     def total_moves(self) -> int:

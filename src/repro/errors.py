@@ -146,6 +146,17 @@ class ExperimentError(ReproError):
     """An experiment harness was configured or run incorrectly."""
 
 
+class ShardingError(ReproError):
+    """A shard partition or cross-shard arbitration input is invalid.
+
+    Raised by the scale-out layer (:mod:`repro.sharding`) when a
+    partition request cannot be satisfied (fewer devices than shards),
+    when a rebalance names an unknown file or shard, or when a set of
+    cross-shard moves violates the coordinator's capacity/uniqueness
+    invariants.
+    """
+
+
 class RecoveryError(ReproError):
     """Crash recovery could not restore a usable system state."""
 

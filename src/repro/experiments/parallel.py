@@ -210,6 +210,25 @@ def run_robustness(
     return RobustnessResult(outcomes=outcomes)
 
 
+# -- shard cells (scale sweep) -------------------------------------------
+
+def _scale_cell(spec):
+    """One shard decision-agent span, rebuilt entirely in-worker."""
+    from repro.experiments.scale import run_shard_span
+
+    return run_shard_span(spec)
+
+
+def run_scale_spans(specs: Sequence[Any], *, workers: int = 1) -> list[Any]:
+    """Execute shard spans (``ShardSpanSpec`` cells) across processes.
+
+    Each span rebuilds its cluster slice, file slice, masked workload,
+    ReplayDB, and agent purely from its spec, so submission-order merge
+    makes any worker count bit-for-bit identical to the serial loop.
+    """
+    return run_cells(_scale_cell, list(specs), workers=workers)
+
+
 # -- model cells (Table II) ----------------------------------------------
 
 def _model_cell(cell: tuple[int, list, int, int]) -> Table2Row:

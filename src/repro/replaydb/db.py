@@ -409,7 +409,9 @@ class ReplayDB:
         ).fetchall()
         return [self._to_record(row) for row in rows]
 
-    def recent_per_device(self, limit: int) -> dict[str, list[AccessRecord]]:
+    def recent_per_device(
+        self, limit: int, *, fids: Iterable[int] | None = None
+    ) -> dict[str, list[AccessRecord]]:
         """Most recent ``limit`` accesses for each device seen so far.
 
         This is the paper's training-batch request: "All requests for data
@@ -417,36 +419,10 @@ class ReplayDB:
         One window-function query (riding ``idx_accesses_device``) replaces
         the former one-query-per-device loop; devices are keyed in sorted
         order with each device's records chronological, exactly as before.
-        """
-        if limit <= 0:
-            raise ReplayDBError(f"limit must be positive, got {limit}")
-        self._flush_accesses()
-        self._m_queries.inc()
-        rows = self._conn.execute(
-            "SELECT * FROM ("
-            "  SELECT a.*, ROW_NUMBER() OVER "
-            "    (PARTITION BY device ORDER BY id DESC) AS rn"
-            "  FROM accesses AS a"
-            ") WHERE rn <= ? ORDER BY device ASC, id ASC",
-            (limit,),
-        ).fetchall()
-        out: dict[str, list[AccessRecord]] = {}
-        for row in rows:
-            out.setdefault(row[3], []).append(self._to_record(row))
-        return out
 
-    def recent_accesses_per_file(
-        self, limit: int, fids: Iterable[int] | None = None
-    ) -> dict[int, list[AccessRecord]]:
-        """Most recent ``limit`` accesses for each file, in one query.
-
-        The batched decision path's telemetry request: instead of issuing
-        one ``recent_accesses(fid=...)`` query per probed file, a single
-        window-function scan (riding ``idx_accesses_fid``) ranks every
-        file's accesses newest-first and keeps the top ``limit`` per file.
-        Each file's list is chronological; files without telemetry are
-        absent from the result (the engine skips them).  ``fids`` narrows
-        the scan to the given ids.
+        ``fids`` restricts the window to accesses of the given files --
+        the shard-slice view: a shard asking for its devices' recent
+        history never ranks (or returns) other shards' rows.
         """
         if limit <= 0:
             raise ReplayDBError(f"limit must be positive, got {limit}")
@@ -463,12 +439,77 @@ class ReplayDB:
         rows = self._conn.execute(
             "SELECT * FROM ("
             "  SELECT a.*, ROW_NUMBER() OVER "
-            "    (PARTITION BY fid ORDER BY id DESC) AS rn"
+            "    (PARTITION BY device ORDER BY id DESC) AS rn"
             f"  FROM accesses AS a {where}"
-            ") WHERE rn <= ? ORDER BY fid ASC, id ASC",
+            ") WHERE rn <= ? ORDER BY device ASC, id ASC",
             (*params, limit),
         ).fetchall()
+        out: dict[str, list[AccessRecord]] = {}
+        for row in rows:
+            out.setdefault(row[3], []).append(self._to_record(row))
+        return out
+
+    def _fids_with_rows(self, wanted: list[int]) -> list[int]:
+        """The subset of ``wanted`` (sorted) that has access rows at all.
+
+        The sharded decision path asks for *every* file in its shard,
+        most of which may have no telemetry yet; one loose index scan
+        over the distinct fids beats probing thousands of absent files
+        one query at a time.  Small requests skip the scan -- the probes
+        themselves are cheaper than reading the distinct list.
+        """
+        if len(wanted) <= 64:
+            return wanted
+        rows = self._conn.execute("SELECT DISTINCT fid FROM accesses")
+        present = {int(row[0]) for row in rows}
+        return [fid for fid in wanted if fid in present]
+
+    def recent_accesses_per_file(
+        self, limit: int, fids: Iterable[int] | None = None
+    ) -> dict[int, list[AccessRecord]]:
+        """Most recent ``limit`` accesses for each file, in one query.
+
+        The batched decision path's telemetry request: instead of issuing
+        one ``recent_accesses(fid=...)`` query per probed file, a single
+        window-function scan (riding ``idx_accesses_fid``) ranks every
+        file's accesses newest-first and keeps the top ``limit`` per file.
+        Each file's list is chronological; files without telemetry are
+        absent from the result (the engine skips them).
+
+        ``fids`` narrows the result to the given ids and switches to one
+        indexed top-N probe per present file, so a shard slice costs
+        O(shard files x limit) however large the access log has grown --
+        no full-window pass over other shards' rows.
+        """
+        if limit <= 0:
+            raise ReplayDBError(f"limit must be positive, got {limit}")
+        self._flush_accesses()
+        self._m_queries.inc()
         out: dict[int, list[AccessRecord]] = {}
+        if fids is not None:
+            wanted = sorted(set(fids))
+            if not wanted:
+                return out
+            execute = self._conn.execute
+            for fid in self._fids_with_rows(wanted):
+                rows = execute(
+                    "SELECT * FROM accesses WHERE fid = ? "
+                    "ORDER BY id DESC LIMIT ?",
+                    (fid, limit),
+                ).fetchall()
+                if rows:
+                    out[fid] = [
+                        self._to_record(row) for row in reversed(rows)
+                    ]
+            return out
+        rows = self._conn.execute(
+            "SELECT * FROM ("
+            "  SELECT a.*, ROW_NUMBER() OVER "
+            "    (PARTITION BY fid ORDER BY id DESC) AS rn"
+            "  FROM accesses AS a"
+            ") WHERE rn <= ? ORDER BY fid ASC, id ASC",
+            (limit,),
+        ).fetchall()
         for row in rows:
             out.setdefault(int(row[1]), []).append(self._to_record(row))
         return out
@@ -496,14 +537,16 @@ class ReplayDB:
             # (``idx_accesses_fid``, ORDER BY id DESC LIMIT k) instead of
             # the whole-table window scan, so the decision epoch's
             # telemetry read costs O(files x limit) however large the
-            # access log has grown.  Row content and ordering are
-            # identical to the window query below.
+            # access log has grown.  The distinct-fid prefilter keeps a
+            # shard asking about its whole (mostly untouched) file slice
+            # at O(files with telemetry) probes.  Row content and
+            # ordering are identical to the window query below.
             wanted = sorted(set(fids))
             if not wanted:
                 return [], {}
             rows = []
             execute = self._conn.execute
-            for fid in wanted:
+            for fid in self._fids_with_rows(wanted):
                 per_fid = execute(
                     f"SELECT {fields} FROM accesses WHERE fid = ? "
                     "ORDER BY id DESC LIMIT ?",

@@ -1,0 +1,37 @@
+"""Sharded multi-agent scale-out (ROADMAP north-star item 1).
+
+The single-agent reproduction tops out at ~6 mounts and tens of files:
+one engine probes every (file, device) pair, so the decision epoch grows
+as ``files x devices``.  This package splits the cluster into shards --
+each with its own decision agent over its own ReplayDB slice -- and
+coordinates them:
+
+* :mod:`repro.sharding.partitioner` -- deterministic assignment of
+  devices and files to shards (and rebalancing after cross-shard moves);
+* :mod:`repro.sharding.coordinator` -- arbitration of cross-shard move
+  proposals against global capacity and throughput invariants at each
+  fused decision boundary.
+
+The experiment driver lives in :mod:`repro.experiments.scale`.
+"""
+
+from repro.sharding.coordinator import (
+    CrossShardMove,
+    ExportCandidate,
+    ShardCoordinator,
+    ShardDigest,
+    select_exports,
+    verify_moves,
+)
+from repro.sharding.partitioner import ShardAssignment, ShardPartitioner
+
+__all__ = [
+    "CrossShardMove",
+    "ExportCandidate",
+    "ShardAssignment",
+    "ShardCoordinator",
+    "ShardDigest",
+    "ShardPartitioner",
+    "select_exports",
+    "verify_moves",
+]

@@ -1,0 +1,259 @@
+"""Cross-shard arbitration at fused decision boundaries.
+
+Each shard's agent sees only its own slice, so a file stuck in a slow
+shard stays stuck no matter how good the local decisions are.  At every
+fusion boundary the shards publish small :class:`ShardDigest` summaries
+-- observed throughput, per-device free bytes, and the files their
+engines serve worst (:func:`select_exports`) -- and the
+:class:`ShardCoordinator` arbitrates: a move is accepted only when the
+destination shard's observed throughput beats the source's by the
+configured margin AND a destination device has the free bytes to take
+the file.  The HDFS replication-RL framing (PAPERS.md): global capacity
+is a first-class constraint, not a per-agent afterthought.
+
+Arbitration is deterministic (sorted candidate and target orders, no
+RNG) and :func:`verify_moves` re-checks every invariant independently,
+so the Hypothesis suite can hold the two honest against each other.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import ShardingError
+
+
+@dataclass(frozen=True)
+class ExportCandidate:
+    """A file its owning shard nominates for cross-shard migration."""
+
+    fid: int
+    shard: int
+    size_bytes: int
+    #: predicted bytes/s at the file's best *local* placement -- low
+    #: scores mean even the shard's best device serves this file poorly
+    local_score: float
+
+
+@dataclass(frozen=True)
+class ShardDigest:
+    """One shard's summary published at a fusion boundary."""
+
+    shard: int
+    #: mean measured access throughput over the shard's span (GB/s)
+    mean_throughput_gbps: float
+    #: free bytes per available device in the shard
+    free_bytes: dict[str, int] = field(default_factory=dict)
+    exports: tuple[ExportCandidate, ...] = ()
+
+
+@dataclass(frozen=True)
+class CrossShardMove:
+    """An accepted file migration between shards."""
+
+    fid: int
+    src_shard: int
+    dst_shard: int
+    dst_device: str
+    size_bytes: int
+
+
+def select_exports(
+    scores: dict[int, float],
+    sizes: dict[int, int],
+    *,
+    shard: int,
+    limit: int,
+) -> tuple[ExportCandidate, ...]:
+    """The ``limit`` worst-served files as export candidates.
+
+    ``scores`` is the engine's predicted bytes/s at each file's chosen
+    placement (:attr:`DRLEngine.last_chosen_scores`): the files with the
+    lowest chosen scores are the ones the shard cannot serve well even
+    at its best device, so they are the ones worth offering to a faster
+    shard.  Files without a known size are skipped (never probed yet).
+    """
+    if limit < 0:
+        raise ShardingError(f"limit must be >= 0, got {limit}")
+    ranked = sorted(scores.items(), key=lambda item: (item[1], item[0]))
+    exports = []
+    for fid, score in ranked:
+        if len(exports) >= limit:
+            break
+        size = sizes.get(fid)
+        if size is None:
+            continue
+        exports.append(
+            ExportCandidate(
+                fid=fid, shard=shard, size_bytes=size, local_score=score
+            )
+        )
+    return tuple(exports)
+
+
+class ShardCoordinator:
+    """Arbitrates cross-shard move proposals against global invariants."""
+
+    def __init__(self, *, margin: float = 0.10, max_moves: int = 8) -> None:
+        if margin < 0:
+            raise ShardingError(f"margin must be >= 0, got {margin}")
+        if max_moves < 0:
+            raise ShardingError(f"max_moves must be >= 0, got {max_moves}")
+        self.margin = float(margin)
+        self.max_moves = int(max_moves)
+
+    def _check_digests(self, digests: Sequence[ShardDigest]) -> None:
+        shards = [d.shard for d in digests]
+        if len(set(shards)) != len(shards):
+            raise ShardingError(f"duplicate shard digests: {sorted(shards)}")
+        for digest in digests:
+            for candidate in digest.exports:
+                if candidate.shard != digest.shard:
+                    raise ShardingError(
+                        f"shard {digest.shard} published an export owned "
+                        f"by shard {candidate.shard} (fid {candidate.fid})"
+                    )
+                if candidate.size_bytes < 0:
+                    raise ShardingError(
+                        f"export fid {candidate.fid} has negative size"
+                    )
+
+    def arbitrate(
+        self, digests: Sequence[ShardDigest]
+    ) -> list[CrossShardMove]:
+        """Accept the cross-shard moves the global invariants allow.
+
+        Candidates are considered slowest-source-first (then worst
+        score, then fid): the files suffering most get first claim on
+        the fast shards' capacity.  Each accepted move debits the
+        destination device's free bytes, so a burst of acceptances can
+        never oversubscribe a device.  At most ``max_moves`` moves are
+        accepted per boundary, and one file moves at most once.
+        """
+        self._check_digests(digests)
+        if self.max_moves == 0 or len(digests) < 2:
+            return []
+        throughput = {d.shard: d.mean_throughput_gbps for d in digests}
+        free = {d.shard: dict(d.free_bytes) for d in digests}
+        # Fastest shards first: the first target that clears the margin
+        # is the best one, and once a target misses the margin no later
+        # (slower) target can clear it either.
+        targets = sorted(
+            digests, key=lambda d: (-d.mean_throughput_gbps, d.shard)
+        )
+        candidates = sorted(
+            (c for d in digests for c in d.exports),
+            key=lambda c: (throughput[c.shard], c.local_score, c.fid),
+        )
+        moves: list[CrossShardMove] = []
+        moved: set[int] = set()
+        for candidate in candidates:
+            if len(moves) >= self.max_moves:
+                break
+            if candidate.fid in moved:
+                continue
+            needed = (1.0 + self.margin) * throughput[candidate.shard]
+            for target in targets:
+                if throughput[target.shard] < needed:
+                    break
+                if target.shard == candidate.shard:
+                    continue
+                device = _pick_device(
+                    free[target.shard], candidate.size_bytes
+                )
+                if device is None:
+                    continue
+                free[target.shard][device] -= candidate.size_bytes
+                moves.append(
+                    CrossShardMove(
+                        fid=candidate.fid,
+                        src_shard=candidate.shard,
+                        dst_shard=target.shard,
+                        dst_device=device,
+                        size_bytes=candidate.size_bytes,
+                    )
+                )
+                moved.add(candidate.fid)
+                break
+        return moves
+
+
+def _pick_device(free: dict[str, int], size: int) -> str | None:
+    """The destination device with the most headroom that fits ``size``."""
+    best = None
+    best_free = -1
+    for name in sorted(free):
+        headroom = free[name]
+        if headroom >= size and headroom > best_free:
+            best = name
+            best_free = headroom
+    return best
+
+
+def verify_moves(
+    digests: Sequence[ShardDigest],
+    moves: Iterable[CrossShardMove],
+    *,
+    margin: float,
+    max_moves: int,
+) -> None:
+    """Independently re-check every arbitration invariant.
+
+    Raises :class:`ShardingError` on the first violation; written
+    without reference to :meth:`ShardCoordinator.arbitrate` internals so
+    property tests hold the two implementations against each other.
+    """
+    moves = list(moves)
+    if len(moves) > max_moves:
+        raise ShardingError(
+            f"{len(moves)} moves exceed the max_moves cap of {max_moves}"
+        )
+    fids = [m.fid for m in moves]
+    if len(set(fids)) != len(fids):
+        raise ShardingError(f"a file was moved more than once: {sorted(fids)}")
+    by_shard = {d.shard: d for d in digests}
+    placed: dict[tuple[int, str], int] = {}
+    for move in moves:
+        if move.src_shard == move.dst_shard:
+            raise ShardingError(
+                f"fid {move.fid} moved within shard {move.src_shard}"
+            )
+        src = by_shard.get(move.src_shard)
+        dst = by_shard.get(move.dst_shard)
+        if src is None or dst is None:
+            raise ShardingError(
+                f"fid {move.fid} references an unknown shard "
+                f"({move.src_shard} -> {move.dst_shard})"
+            )
+        exported = {c.fid: c for c in src.exports}
+        if move.fid not in exported:
+            raise ShardingError(
+                f"fid {move.fid} was never exported by shard {src.shard}"
+            )
+        if exported[move.fid].size_bytes != move.size_bytes:
+            raise ShardingError(
+                f"fid {move.fid} size mismatch: exported "
+                f"{exported[move.fid].size_bytes}, moved {move.size_bytes}"
+            )
+        if move.dst_device not in dst.free_bytes:
+            raise ShardingError(
+                f"fid {move.fid} targets unknown device "
+                f"{move.dst_device!r} in shard {dst.shard}"
+            )
+        needed = (1.0 + margin) * src.mean_throughput_gbps
+        if dst.mean_throughput_gbps < needed:
+            raise ShardingError(
+                f"fid {move.fid}: destination shard {dst.shard} "
+                f"({dst.mean_throughput_gbps:.3f} GB/s) does not clear "
+                f"the {margin:.0%} margin over shard {src.shard} "
+                f"({src.mean_throughput_gbps:.3f} GB/s)"
+            )
+        key = (move.dst_shard, move.dst_device)
+        placed[key] = placed.get(key, 0) + move.size_bytes
+        if placed[key] > dst.free_bytes[move.dst_device]:
+            raise ShardingError(
+                f"device {move.dst_device!r} in shard {dst.shard} "
+                f"oversubscribed: {placed[key]} bytes placed into "
+                f"{dst.free_bytes[move.dst_device]} free"
+            )

@@ -1,0 +1,153 @@
+"""Deterministic device/file sharding.
+
+Harmonia's placement/migration split (PAPERS.md) needs each agent to own
+a disjoint slice of the system; everything here is a pure function of
+``(device names, file population, n_shards, seed)`` so any process --
+a parallel worker rebuilding its cell from seeds, or the coordinator
+re-deriving the global picture -- arrives at the identical partition.
+
+Devices are split into contiguous blocks of the sorted name order (a
+seed-dependent rotation decides which shard gets which block), so a
+shard's devices can be rebuilt as a slice of the same factory that
+builds the full cluster.  Files are spread by greedy least-assigned-bytes
+bin packing over fid order, which keeps shard data volumes balanced even
+under the log-uniform BELLE II size distribution.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.errors import ShardingError
+from repro.workloads.files import FileSpec
+
+
+@dataclass(frozen=True)
+class ShardAssignment:
+    """An immutable device/file -> shard mapping."""
+
+    n_shards: int
+    device_shard: dict[str, int] = field(default_factory=dict)
+    file_shard: dict[int, int] = field(default_factory=dict)
+
+    def devices_of(self, shard: int) -> list[str]:
+        """Device names owned by ``shard``, in sorted order."""
+        self._check_shard(shard)
+        return sorted(
+            name for name, s in self.device_shard.items() if s == shard
+        )
+
+    def files_of(self, shard: int) -> list[int]:
+        """File ids owned by ``shard``, in ascending order."""
+        self._check_shard(shard)
+        return sorted(fid for fid, s in self.file_shard.items() if s == shard)
+
+    def shard_of_file(self, fid: int) -> int:
+        try:
+            return self.file_shard[fid]
+        except KeyError:
+            raise ShardingError(f"file {fid} is not assigned") from None
+
+    def shard_of_device(self, name: str) -> int:
+        try:
+            return self.device_shard[name]
+        except KeyError:
+            raise ShardingError(f"device {name!r} is not assigned") from None
+
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < self.n_shards:
+            raise ShardingError(
+                f"shard must be in [0, {self.n_shards}), got {shard}"
+            )
+
+
+class ShardPartitioner:
+    """Deterministic assignment of devices and files to shards."""
+
+    def __init__(self, n_shards: int, *, seed: int = 0) -> None:
+        if n_shards < 1:
+            raise ShardingError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = int(n_shards)
+        self.seed = int(seed)
+
+    def assign(
+        self, device_names: Iterable[str], files: Iterable[FileSpec]
+    ) -> ShardAssignment:
+        """Partition ``device_names`` and ``files`` into shards.
+
+        Every device and every file lands in exactly one shard; the
+        result depends only on ``(inputs, n_shards, seed)``.
+        """
+        names = sorted(device_names)
+        if len(set(names)) != len(names):
+            raise ShardingError("device names must be unique")
+        if len(names) < self.n_shards:
+            raise ShardingError(
+                f"need >= {self.n_shards} devices for {self.n_shards} "
+                f"shards, got {len(names)}"
+            )
+        # Contiguous blocks of the sorted order keep slice-rebuild cheap;
+        # the seed rotates which shard owns which block so different
+        # seeds explore different device groupings.
+        rotation = self.seed % self.n_shards
+        device_shard: dict[str, int] = {}
+        n = len(names)
+        for block in range(self.n_shards):
+            start = block * n // self.n_shards
+            stop = (block + 1) * n // self.n_shards
+            shard = (block + rotation) % self.n_shards
+            for name in names[start:stop]:
+                device_shard[name] = shard
+        # Greedy least-bytes bin packing over fid order balances shard
+        # data volume under skewed size distributions; ties break toward
+        # the lowest shard id, so the packing is fully deterministic.
+        specs = sorted(files, key=lambda f: f.fid)
+        if len({f.fid for f in specs}) != len(specs):
+            raise ShardingError("file ids must be unique")
+        assigned_bytes = [0] * self.n_shards
+        file_shard: dict[int, int] = {}
+        for spec in specs:
+            shard = min(
+                range(self.n_shards), key=lambda s: (assigned_bytes[s], s)
+            )
+            file_shard[spec.fid] = shard
+            assigned_bytes[shard] += spec.size_bytes
+        return ShardAssignment(
+            n_shards=self.n_shards,
+            device_shard=device_shard,
+            file_shard=file_shard,
+        )
+
+    def rebalance(
+        self,
+        assignment: ShardAssignment,
+        moves: Iterable[tuple[int, int]],
+    ) -> ShardAssignment:
+        """Apply accepted cross-shard moves: ``(fid, destination shard)``.
+
+        Devices never move between shards (a shard *is* its devices);
+        only file ownership changes.  The file population is preserved
+        exactly -- the union of all shards' files before equals the
+        union after -- and unknown files or out-of-range shards raise.
+        """
+        if assignment.n_shards != self.n_shards:
+            raise ShardingError(
+                f"assignment has {assignment.n_shards} shards, "
+                f"partitioner has {self.n_shards}"
+            )
+        file_shard = dict(assignment.file_shard)
+        for fid, shard in moves:
+            if fid not in file_shard:
+                raise ShardingError(f"cannot rebalance unknown file {fid}")
+            if not 0 <= shard < self.n_shards:
+                raise ShardingError(
+                    f"destination shard must be in [0, {self.n_shards}), "
+                    f"got {shard} for file {fid}"
+                )
+            file_shard[fid] = shard
+        return ShardAssignment(
+            n_shards=self.n_shards,
+            device_shard=dict(assignment.device_shard),
+            file_shard=file_shard,
+        )

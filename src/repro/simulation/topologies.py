@@ -72,6 +72,82 @@ def make_tiered_cluster(
     return StorageCluster(devices, link=TransferLink(1.25, 0.001))
 
 
+#: hardware templates the scaled factory cycles through, index order:
+#: (read_gbps, write_gbps, latency_s, noise_sigma, crowding_factor,
+#:  interference_sensitivity, p_on, on_level, slot_seconds, description)
+_SCALED_TIERS: tuple[tuple, ...] = (
+    (6.0, 4.5, 0.0004, 0.2, 1.5, 0.10, 0.15, 0.5, 45.0, "nvme node"),
+    (3.0, 2.2, 0.0010, 0.3, 2.0, 0.40, 0.25, 0.5, 60.0, "ssd node"),
+    (1.5, 1.0, 0.0040, 0.5, 2.5, 0.60, 0.30, 0.6, 90.0, "disk node"),
+    (0.6, 0.45, 0.0100, 0.4, 2.0, 0.50, 0.35, 0.7, 120.0, "dense disk node"),
+)
+
+
+def _scaled_device(idx: int, *, seed: int, capacity_gb: int) -> StorageDevice:
+    """Device ``idx`` of the scaled cluster -- pure in ``(seed, idx)``.
+
+    Shard slices must reproduce the full build exactly, so nothing here
+    may depend on which *other* indices are being built: per-device
+    speed jitter comes from a Weyl-style integer hash of the index, and
+    the interference schedule is seeded per index, exactly as the
+    homogeneous factory seeds its nodes.
+    """
+    (read, write, latency, noise, crowding, sensitivity,
+     p_on, on_level, slot, desc) = _SCALED_TIERS[idx % len(_SCALED_TIERS)]
+    jitter = 0.85 + 0.3 * (((idx * 2654435761 + seed * 40503) % 1000) / 1000.0)
+    return StorageDevice(
+        DeviceSpec(
+            name=f"dev{idx:05d}", fsid=idx,
+            read_gbps=read * jitter, write_gbps=write * jitter,
+            capacity_bytes=capacity_gb * GB, latency_s=latency,
+            noise_sigma=noise, crowding_factor=crowding,
+            interference_sensitivity=sensitivity,
+            description=desc,
+        ),
+        BurstyLoad(p_on=p_on, on_level=on_level, off_level=0.05,
+                   slot_seconds=slot, seed=seed * 23 + idx),
+        seed=seed,
+    )
+
+
+def make_scaled_cluster(
+    n_devices: int,
+    *,
+    seed: int = 0,
+    indices: list[int] | None = None,
+    capacity_gb: int = 100,
+) -> StorageCluster:
+    """A tier-cycling cluster sized for the 10^3-device scale-out sweeps.
+
+    Device ``i`` is a pure function of ``(seed, i)``: building the slice
+    ``indices=[3, 7]`` yields devices identical to positions 3 and 7 of
+    the full ``n_devices`` build.  That property is what lets each shard
+    of the partitioned experiment rebuild exactly its own devices from
+    seeds -- the parallel-cell discipline of ``experiments/parallel.py``
+    extended to topology slices.
+    """
+    if n_devices < 1:
+        raise ConfigurationError(f"n_devices must be >= 1, got {n_devices}")
+    if capacity_gb < 1:
+        raise ConfigurationError(f"capacity_gb must be >= 1, got {capacity_gb}")
+    if indices is None:
+        indices = list(range(n_devices))
+    if len(set(indices)) != len(indices):
+        raise ConfigurationError(f"indices must be unique, got {indices}")
+    for idx in indices:
+        if not 0 <= idx < n_devices:
+            raise ConfigurationError(
+                f"indices must be in [0, {n_devices}), got {idx}"
+            )
+    if not indices:
+        raise ConfigurationError("indices must select at least one device")
+    devices = [
+        _scaled_device(idx, seed=seed, capacity_gb=capacity_gb)
+        for idx in indices
+    ]
+    return StorageCluster(devices, link=TransferLink(1.25, 0.001))
+
+
 def make_homogeneous_cluster(
     n_devices: int = 4,
     *,

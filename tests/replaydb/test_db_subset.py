@@ -1,0 +1,132 @@
+"""Subset (``fids=``) query paths must match the full-window queries.
+
+The sharded decision path reads telemetry through explicit file-id
+subsets (one indexed top-N probe per present file, with a distinct-fid
+prefilter for large requests).  These tests hold every ``fids=`` branch
+against the whole-table window query it replaces: same rows, same
+ordering, for any subset -- including subsets dominated by files that
+have no telemetry at all, which is the common case for a shard slice.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReplayDBError
+from repro.replaydb.db import ReplayDB
+from repro.replaydb.records import AccessRecord
+
+
+def make_access(fid=1, fsid=0, device="file0", t=100, rb=1000, **overrides):
+    base = dict(
+        fid=fid, fsid=fsid, device=device, path=f"data/f{fid}.root",
+        rb=rb, wb=0, ots=t, otms=0, cts=t + 1, ctms=0,
+    )
+    base.update(overrides)
+    return AccessRecord(**base)
+
+
+@pytest.fixture
+def db():
+    with ReplayDB() as db:
+        # 6 files spread over 3 devices, interleaved in time, uneven row
+        # counts so per-file LIMIT truncation actually bites.
+        t = 0
+        for rounds, fid in ((7, 0), (1, 1), (4, 2), (9, 5), (2, 8)):
+            for k in range(rounds):
+                t += 1
+                db.insert_access(make_access(
+                    fid=fid, device=f"dev{(fid + k) % 3}", t=t,
+                    rb=100 * fid + k,
+                ))
+        yield db
+
+
+class TestRecentAccessesPerFileSubset:
+    @pytest.mark.parametrize("limit", [1, 3, 100])
+    def test_subset_equals_filtered_full_result(self, db, limit):
+        full = db.recent_accesses_per_file(limit)
+        for wanted in ([0], [1, 2], [0, 2, 5, 8], [3, 4], list(range(10))):
+            subset = db.recent_accesses_per_file(limit, fids=wanted)
+            expected = {
+                fid: recs for fid, recs in full.items() if fid in wanted
+            }
+            assert subset == expected
+
+    def test_empty_and_absent_subsets(self, db):
+        assert db.recent_accesses_per_file(5, fids=[]) == {}
+        assert db.recent_accesses_per_file(5, fids=[3, 4, 99]) == {}
+
+    def test_duplicate_fids_collapse(self, db):
+        assert db.recent_accesses_per_file(2, fids=[5, 5, 5]) == (
+            db.recent_accesses_per_file(2, fids=[5])
+        )
+
+    def test_limit_must_be_positive(self, db):
+        with pytest.raises(ReplayDBError):
+            db.recent_accesses_per_file(0, fids=[1])
+
+
+class TestColumnsSubset:
+    @pytest.mark.parametrize("limit", [1, 3, 100])
+    def test_all_fids_subset_matches_window_query(self, db, limit):
+        spans_full, cols_full = db.recent_access_columns_per_file(limit)
+        spans_sub, cols_sub = db.recent_access_columns_per_file(
+            limit, fids=range(10)
+        )
+        assert spans_sub == spans_full
+        assert cols_sub.keys() == cols_full.keys()
+        for name in cols_full:
+            np.testing.assert_array_equal(cols_sub[name], cols_full[name])
+
+    def test_narrow_subset_matches_filtered_rows(self, db):
+        spans_full, cols_full = db.recent_access_columns_per_file(3)
+        spans_sub, cols_sub = db.recent_access_columns_per_file(
+            3, fids=[0, 5]
+        )
+        assert [fid for fid, _, _ in spans_sub] == [0, 5]
+        for fid, start, stop in spans_sub:
+            full_span = next(s for s in spans_full if s[0] == fid)
+            for name in cols_full:
+                np.testing.assert_array_equal(
+                    cols_sub[name][start:stop],
+                    cols_full[name][full_span[1]:full_span[2]],
+                )
+
+    def test_empty_subset(self, db):
+        assert db.recent_access_columns_per_file(3, fids=[]) == ([], {})
+        assert db.recent_access_columns_per_file(3, fids=[99]) == ([], {})
+
+
+class TestPrefilter:
+    def test_large_sparse_request_matches_small_path(self, db):
+        # > 64 wanted fids forces the distinct-fid prefilter; the result
+        # must be identical to probing each fid directly.
+        sparse = list(range(200))
+        assert db.recent_accesses_per_file(4, fids=sparse) == (
+            db.recent_accesses_per_file(4, fids=[0, 1, 2, 5, 8])
+        )
+        assert db._fids_with_rows(sorted(sparse)) == [0, 1, 2, 5, 8]
+
+    def test_small_request_skips_prefilter(self, db):
+        wanted = [0, 3, 99]
+        # <= 64 ids: returned verbatim, absent fids probe to nothing.
+        assert db._fids_with_rows(wanted) == wanted
+
+
+class TestRecentPerDeviceSubset:
+    def test_fids_narrowing_matches_filtered_ranking(self, db):
+        # Re-rank the full per-device window over only the wanted fids'
+        # rows: the fids= query must agree exactly.
+        wanted = {0, 5}
+        limit = 3
+        narrowed = db.recent_per_device(limit, fids=wanted)
+        big = db.recent_per_device(10_000)
+        expected = {}
+        for device, recs in big.items():
+            kept = [r for r in recs if r.fid in wanted][-limit:]
+            if kept:
+                expected[device] = kept
+        assert narrowed == expected
+
+    def test_empty_subset(self, db):
+        assert db.recent_per_device(3, fids=[]) == {}

@@ -1,0 +1,201 @@
+"""Property tests (Hypothesis) for cross-shard arbitration.
+
+:meth:`ShardCoordinator.arbitrate` and :func:`verify_moves` are written
+independently; the suite holds them against each other: every accepted
+move set must re-verify clean, and hand-built invariant violations must
+raise.  Capacity, the throughput margin, the move cap, and
+one-move-per-fid are all exercised under random digests.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.errors import ShardingError  # noqa: E402
+from repro.sharding import (  # noqa: E402
+    CrossShardMove,
+    ExportCandidate,
+    ShardCoordinator,
+    ShardDigest,
+    select_exports,
+    verify_moves,
+)
+
+
+@st.composite
+def digest_sets(draw):
+    n_shards = draw(st.integers(min_value=1, max_value=6))
+    digests = []
+    fid = 0
+    for shard in range(n_shards):
+        throughput = draw(
+            st.floats(min_value=0.01, max_value=8.0, allow_nan=False)
+        )
+        free = {
+            f"s{shard}d{j}": draw(st.integers(min_value=0, max_value=10**10))
+            for j in range(draw(st.integers(min_value=0, max_value=3)))
+        }
+        exports = []
+        for _ in range(draw(st.integers(min_value=0, max_value=4))):
+            exports.append(
+                ExportCandidate(
+                    fid=fid,
+                    shard=shard,
+                    size_bytes=draw(
+                        st.integers(min_value=0, max_value=10**10)
+                    ),
+                    local_score=draw(
+                        st.floats(
+                            min_value=0.0, max_value=1e9, allow_nan=False
+                        )
+                    ),
+                )
+            )
+            fid += 1
+        digests.append(
+            ShardDigest(
+                shard=shard,
+                mean_throughput_gbps=throughput,
+                free_bytes=free,
+                exports=tuple(exports),
+            )
+        )
+    return digests
+
+
+@given(
+    digests=digest_sets(),
+    margin=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    max_moves=st.integers(min_value=0, max_value=10),
+)
+@settings(max_examples=300, deadline=None)
+def test_arbitrate_output_always_verifies(digests, margin, max_moves):
+    coordinator = ShardCoordinator(margin=margin, max_moves=max_moves)
+    moves = coordinator.arbitrate(digests)
+    # The independent checker accepts everything arbitrate accepted.
+    verify_moves(digests, moves, margin=margin, max_moves=max_moves)
+    assert len(moves) <= max_moves
+    fids = [m.fid for m in moves]
+    assert len(set(fids)) == len(fids)
+    for move in moves:
+        assert move.src_shard != move.dst_shard
+
+
+@given(digests=digest_sets())
+@settings(max_examples=100, deadline=None)
+def test_arbitrate_is_deterministic(digests):
+    coordinator = ShardCoordinator(margin=0.1, max_moves=8)
+    assert coordinator.arbitrate(digests) == coordinator.arbitrate(digests)
+
+
+def _two_shards():
+    return [
+        ShardDigest(
+            shard=0,
+            mean_throughput_gbps=1.0,
+            free_bytes={"a": 100},
+            exports=(
+                ExportCandidate(fid=1, shard=0, size_bytes=50, local_score=0.1),
+            ),
+        ),
+        ShardDigest(
+            shard=1,
+            mean_throughput_gbps=3.0,
+            free_bytes={"b": 60},
+            exports=(),
+        ),
+    ]
+
+
+def test_verify_rejects_each_violation():
+    digests = _two_shards()
+    ok = CrossShardMove(
+        fid=1, src_shard=0, dst_shard=1, dst_device="b", size_bytes=50
+    )
+    verify_moves(digests, [ok], margin=0.1, max_moves=8)
+    with pytest.raises(ShardingError):  # over the cap
+        verify_moves(digests, [ok], margin=0.1, max_moves=0)
+    with pytest.raises(ShardingError):  # duplicate fid
+        verify_moves(digests, [ok, ok], margin=0.1, max_moves=8)
+    with pytest.raises(ShardingError):  # src == dst
+        verify_moves(
+            digests,
+            [CrossShardMove(1, 0, 0, "a", 50)],
+            margin=0.1,
+            max_moves=8,
+        )
+    with pytest.raises(ShardingError):  # unknown shard
+        verify_moves(
+            digests,
+            [CrossShardMove(1, 0, 9, "b", 50)],
+            margin=0.1,
+            max_moves=8,
+        )
+    with pytest.raises(ShardingError):  # never exported
+        verify_moves(
+            digests,
+            [CrossShardMove(7, 0, 1, "b", 50)],
+            margin=0.1,
+            max_moves=8,
+        )
+    with pytest.raises(ShardingError):  # size mismatch
+        verify_moves(
+            digests,
+            [CrossShardMove(1, 0, 1, "b", 49)],
+            margin=0.1,
+            max_moves=8,
+        )
+    with pytest.raises(ShardingError):  # unknown device
+        verify_moves(
+            digests,
+            [CrossShardMove(1, 0, 1, "zz", 50)],
+            margin=0.1,
+            max_moves=8,
+        )
+    with pytest.raises(ShardingError):  # margin not cleared
+        verify_moves(digests, [ok], margin=5.0, max_moves=8)
+
+
+def test_verify_rejects_oversubscribed_device():
+    digests = [
+        ShardDigest(
+            shard=0,
+            mean_throughput_gbps=1.0,
+            free_bytes={},
+            exports=(
+                ExportCandidate(fid=1, shard=0, size_bytes=40, local_score=0.1),
+                ExportCandidate(fid=2, shard=0, size_bytes=40, local_score=0.2),
+            ),
+        ),
+        ShardDigest(shard=1, mean_throughput_gbps=3.0, free_bytes={"b": 60}),
+    ]
+    moves = [
+        CrossShardMove(1, 0, 1, "b", 40),
+        CrossShardMove(2, 0, 1, "b", 40),
+    ]
+    with pytest.raises(ShardingError):
+        verify_moves(digests, moves, margin=0.1, max_moves=8)
+    # arbitrate itself never produces that pair: the first acceptance
+    # debits the device below the second file's size.
+    accepted = ShardCoordinator(margin=0.1, max_moves=8).arbitrate(digests)
+    assert len(accepted) == 1
+    verify_moves(digests, accepted, margin=0.1, max_moves=8)
+
+
+def test_select_exports_ranks_worst_first_and_skips_unsized():
+    scores = {1: 5.0, 2: 0.5, 3: 2.0, 4: 0.1}
+    sizes = {1: 10, 2: 20, 3: 30}  # fid 4 has no size -> skipped
+    exports = select_exports(scores, sizes, shard=2, limit=2)
+    assert [c.fid for c in exports] == [2, 3]
+    assert all(c.shard == 2 for c in exports)
+    assert select_exports(scores, sizes, shard=0, limit=0) == ()
+    with pytest.raises(ShardingError):
+        select_exports(scores, sizes, shard=0, limit=-1)
+
+
+def test_duplicate_digest_shards_raise():
+    digest = ShardDigest(shard=0, mean_throughput_gbps=1.0)
+    with pytest.raises(ShardingError):
+        ShardCoordinator().arbitrate([digest, digest])

@@ -1,0 +1,133 @@
+"""Property tests (Hypothesis) for the deterministic shard partitioner.
+
+The invariants the scale-out experiment stands on: assignment is a pure
+function of ``(inputs, n_shards, seed)``; every device and every file
+lands in exactly one shard; rebalancing moves file ownership without
+creating or losing files and never touches device ownership.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.errors import ShardingError  # noqa: E402
+from repro.sharding import ShardPartitioner  # noqa: E402
+from repro.workloads.files import FileSpec  # noqa: E402
+
+
+def make_files(sizes):
+    return [
+        FileSpec(fid=i, path=f"f{i}.root", size_bytes=size)
+        for i, size in enumerate(sizes)
+    ]
+
+
+populations = st.lists(
+    st.integers(min_value=1, max_value=10**9), min_size=1, max_size=80
+)
+
+
+@st.composite
+def partitions(draw):
+    n_shards = draw(st.integers(min_value=1, max_value=8))
+    n_devices = draw(st.integers(min_value=n_shards, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    sizes = draw(populations)
+    names = [f"dev{i:05d}" for i in range(n_devices)]
+    return n_shards, seed, names, make_files(sizes)
+
+
+@given(partitions())
+@settings(max_examples=150, deadline=None)
+def test_assignment_is_deterministic(part):
+    n_shards, seed, names, files = part
+    first = ShardPartitioner(n_shards, seed=seed).assign(names, files)
+    second = ShardPartitioner(n_shards, seed=seed).assign(names, files)
+    assert first.device_shard == second.device_shard
+    assert first.file_shard == second.file_shard
+
+
+@given(partitions())
+@settings(max_examples=150, deadline=None)
+def test_every_device_and_file_in_exactly_one_shard(part):
+    n_shards, seed, names, files = part
+    assignment = ShardPartitioner(n_shards, seed=seed).assign(names, files)
+    device_union = [
+        name for s in range(n_shards) for name in assignment.devices_of(s)
+    ]
+    assert sorted(device_union) == sorted(names)
+    assert len(device_union) == len(names)
+    file_union = [
+        fid for s in range(n_shards) for fid in assignment.files_of(s)
+    ]
+    assert sorted(file_union) == sorted(f.fid for f in files)
+    assert len(file_union) == len(files)
+    for name in names:
+        assert 0 <= assignment.shard_of_device(name) < n_shards
+    for spec in files:
+        assert 0 <= assignment.shard_of_file(spec.fid) < n_shards
+
+
+@given(
+    part=partitions(),
+    move_seed=st.integers(min_value=0, max_value=1_000),
+    n_moves=st.integers(min_value=0, max_value=20),
+)
+@settings(max_examples=150, deadline=None)
+def test_rebalance_preserves_file_union_and_devices(part, move_seed, n_moves):
+    n_shards, seed, names, files = part
+    partitioner = ShardPartitioner(n_shards, seed=seed)
+    assignment = partitioner.assign(names, files)
+    moves = [
+        (files[(move_seed + k) % len(files)].fid, (move_seed + 3 * k) % n_shards)
+        for k in range(n_moves)
+    ]
+    rebalanced = partitioner.rebalance(assignment, moves)
+    assert rebalanced.device_shard == assignment.device_shard
+    assert sorted(rebalanced.file_shard) == sorted(assignment.file_shard)
+    expected = dict(assignment.file_shard)
+    for fid, dst in moves:
+        expected[fid] = dst
+    assert rebalanced.file_shard == expected
+
+
+def test_assign_rejects_bad_inputs():
+    partitioner = ShardPartitioner(4, seed=0)
+    files = make_files([10, 20, 30])
+    with pytest.raises(ShardingError):
+        partitioner.assign(["a", "b", "c"], files)  # fewer devices than shards
+    with pytest.raises(ShardingError):
+        partitioner.assign(["a", "a", "b", "c"], files)
+    dup = files + [FileSpec(fid=0, path="dup.root", size_bytes=5)]
+    with pytest.raises(ShardingError):
+        partitioner.assign(["a", "b", "c", "d"], dup)
+
+
+def test_rebalance_rejects_unknown_file_and_shard():
+    partitioner = ShardPartitioner(2, seed=0)
+    assignment = partitioner.assign(["a", "b"], make_files([10, 20]))
+    with pytest.raises(ShardingError):
+        partitioner.rebalance(assignment, [(99, 0)])
+    with pytest.raises(ShardingError):
+        partitioner.rebalance(assignment, [(0, 2)])
+    other = ShardPartitioner(3, seed=0)
+    with pytest.raises(ShardingError):
+        other.rebalance(assignment, [])
+
+
+@given(partitions())
+@settings(max_examples=100, deadline=None)
+def test_device_blocks_are_contiguous_slices(part):
+    """A shard's devices form one contiguous block of the sorted order,
+    so the slice-rebuild of the scaled cluster factory stays valid."""
+    n_shards, seed, names, files = part
+    assignment = ShardPartitioner(n_shards, seed=seed).assign(names, files)
+    ordered = sorted(names)
+    for shard in range(n_shards):
+        owned = assignment.devices_of(shard)
+        if not owned:
+            continue
+        lo = ordered.index(owned[0])
+        assert ordered[lo:lo + len(owned)] == owned

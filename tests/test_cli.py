@@ -18,7 +18,7 @@ class TestParser:
             "fig5a", "fig5b", "table4", "fig6", "synth-trace", "testbed",
             "robustness", "chaos", "overhead", "model-selection", "bench",
             "recover", "resume", "run", "metrics", "trace",
-            "saturate", "deadletters", "explain", "slo",
+            "saturate", "deadletters", "explain", "slo", "scale",
         }
 
     def test_chaos_arguments_parse(self):
